@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Figure 14: SimJIT mesh network performance.
+ *
+ * 64-node FL, CL and RTL mesh networks operating near saturation,
+ * simulated under every framework configuration plus the hand-written
+ * C++ baseline. For each target simulation length the table reports
+ * the speedup over CPython-analog execution, both excluding one-time
+ * specialization overheads (the paper's solid lines / warm-cache
+ * behaviour) and including them (dotted lines).
+ *
+ * Paper reference points (64-node mesh, 10M cycles): PyPy 12x (CL) /
+ * 6x (RTL); SimJIT 30x / 63x; SimJIT+PyPy 75x / 200x; hand-written
+ * C++ 300x (CL) / 1200x (verilated Verilog, RTL); SimJIT+PyPy within
+ * 4x / 6x of hand-written code. The FL network sees only the PyPy
+ * axis (no FL specializer exists, Figure 14a).
+ */
+
+#include "common.h"
+#include "net/traffic.h"
+#include "refcpp/refnet.h"
+
+namespace {
+
+using namespace cmtl;
+using namespace cmtl::bench;
+using namespace cmtl::net;
+
+constexpr int kNodes = 64;
+constexpr int kEntries = 4;
+constexpr double kInjection = 0.30; //!< near saturation (paper Fig 14)
+
+RateResult
+measureLevel(NetLevel level, const SimConfig &cfg)
+{
+    return measureRate([&] {
+        static std::unique_ptr<MeshTrafficTop> top;
+        top = std::make_unique<MeshTrafficTop>("top", level, kNodes,
+                                               kEntries, kInjection, 1);
+        auto elab = top->elaborate();
+        return std::make_unique<SimulationTool>(elab, cfg);
+    });
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool full = fullScale(argc, argv);
+    std::vector<uint64_t> targets = {1000, 10000, 100000, 1000000};
+    if (full)
+        targets.push_back(10000000);
+
+    std::printf("Figure 14: 64-node mesh simulator performance "
+                "(injection %.0f%%)\n",
+                kInjection * 100);
+    std::printf("speedups vs CPython-analog at the same target cycles; "
+                "'total' includes\nmeasured specialization overheads "
+                "(cold overheads appear in Figure 16)\n");
+
+    // The hand-written C++ baseline (one implementation, serves as
+    // the comparator for both CL and RTL, standing in for the paper's
+    // hand C++ / verilated-Verilog baselines).
+    refcpp::RefMeshCL ref(kNodes, kEntries, kInjection, 1);
+    ref.cycle(256);
+    Stopwatch ref_sw;
+    uint64_t ref_cycles = 0;
+    while (ref_sw.elapsed() < 2.0) {
+        ref.cycle(4096);
+        ref_cycles += 4096;
+    }
+    double ref_rate = static_cast<double>(ref_cycles) / ref_sw.elapsed();
+
+    for (NetLevel level :
+         {NetLevel::FL, NetLevel::CLSpec, NetLevel::RTL}) {
+        rule('=');
+        std::printf("%s network (paper Fig 14%c)\n",
+                    level == NetLevel::CLSpec ? "CL (IR subset)"
+                                              : netLevelName(level),
+                    level == NetLevel::FL    ? 'a'
+                    : level == NetLevel::CLSpec ? 'b'
+                                                : 'c');
+        rule('=');
+
+        std::vector<std::pair<std::string, RateResult>> results;
+        for (const ModeSpec &mode : paperModes()) {
+            if (level == NetLevel::FL &&
+                mode.cfg.spec != SpecMode::None)
+                continue; // no FL specializer exists (paper Sec IV)
+            results.emplace_back(mode.name,
+                                 measureLevel(level, mode.cfg));
+        }
+
+        const RateResult &interp = results.front().second;
+        std::printf("%-14s %12s %8s", "config", "cycles/s",
+                    "setup(s)");
+        for (uint64_t n : targets)
+            std::printf("  %8s@%-6s", "exec", std::to_string(n).c_str());
+        std::printf("\n");
+        for (const auto &[name, r] : results) {
+            std::printf("%-14s %12.0f %8.2f", name.c_str(),
+                        r.cycles_per_second, r.setup_seconds);
+            for (uint64_t n : targets) {
+                double solid = projectedTime(interp, n, false) /
+                               projectedTime(r, n, false);
+                double dotted = projectedTime(interp, n, false) /
+                                projectedTime(r, n, true);
+                std::printf("  %7.1fx/%-6.1f", solid, dotted);
+            }
+            std::printf("\n");
+        }
+        if (level != NetLevel::FL) {
+            std::printf("%-14s %12.0f %8.2f", "hand C++", ref_rate,
+                        0.0);
+            for (uint64_t n : targets) {
+                double solid = (static_cast<double>(n) /
+                                interp.cycles_per_second) /
+                               (static_cast<double>(n) / ref_rate);
+                std::printf("  %7.1fx/%-6.1f", solid, solid);
+            }
+            std::printf("\n");
+            const RateResult &best = results.back().second;
+            std::printf("--> SimJIT+PyPy within %.1fx of hand-written "
+                        "C++ (paper: %s)\n",
+                        ref_rate / best.cycles_per_second,
+                        level == NetLevel::RTL ? "6x" : "4x");
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Shared infrastructure for the figure-reproduction benchmarks.
+ *
+ * Each bench binary regenerates one table or figure of the paper.
+ * Simulation rates are measured adaptively (warmup, then timed chunks
+ * until a minimum wall-clock budget), and speedup-vs-simulated-cycles
+ * curves are derived from measured steady-state rates plus measured
+ * one-time overheads: time(N) = setup + N / rate. Our interpreters
+ * have cycle-invariant cost (no warmup effects), so this is exact,
+ * and it keeps the default bench runtime in minutes. Pass --full for
+ * paper-scale parameters.
+ */
+
+#ifndef CMTL_BENCH_COMMON_H
+#define CMTL_BENCH_COMMON_H
+
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/sim.h"
+#include "core/timing.h"
+
+namespace cmtl {
+namespace bench {
+
+/** One execution configuration mapped to a paper configuration. */
+struct ModeSpec
+{
+    std::string name; //!< the paper's name for this configuration
+    SimConfig cfg;
+};
+
+/**
+ * The four framework configurations of the paper's Figure 14, in
+ * order. SimJIT rows use the compiled-C++ specializer when a host
+ * compiler is available, else the bytecode engine (reported).
+ */
+inline std::vector<ModeSpec>
+paperModes()
+{
+    SpecMode spec = CppJit::compilerAvailable() ? SpecMode::Cpp
+                                                : SpecMode::Bytecode;
+    std::vector<ModeSpec> modes;
+    modes.push_back({"CPython", {ExecMode::Interp, SpecMode::None,
+                                 SchedMode::Auto, "", true}});
+    modes.push_back({"PyPy", {ExecMode::OptInterp, SpecMode::None,
+                              SchedMode::Auto, "", true}});
+    modes.push_back(
+        {"SimJIT", {ExecMode::Interp, spec, SchedMode::Auto, "", true}});
+    modes.push_back({"SimJIT+PyPy",
+                     {ExecMode::OptInterp, spec, SchedMode::Auto, "",
+                      true}});
+    return modes;
+}
+
+/** True when --full / CMTL_BENCH_FULL=1 requests paper-scale runs. */
+inline bool
+fullScale(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--full") == 0)
+            return true;
+    }
+    const char *env = std::getenv("CMTL_BENCH_FULL");
+    return env && env[0] == '1';
+}
+
+/** Result of an adaptive rate measurement. */
+struct RateResult
+{
+    double cycles_per_second = 0.0;
+    double setup_seconds = 0.0; //!< simulator construction (this run)
+    SpecStats spec;
+    uint64_t measured_cycles = 0;
+};
+
+/**
+ * Measure the steady-state simulation rate of a simulator produced by
+ * @p make_sim. The factory owns its model; the callback returns a
+ * ready simulator.
+ */
+inline RateResult
+measureRate(const std::function<std::unique_ptr<SimulationTool>()> &make,
+            double budget_seconds = 2.0, uint64_t warmup_cycles = 64)
+{
+    RateResult out;
+    Stopwatch setup;
+    std::unique_ptr<SimulationTool> sim = make();
+    out.setup_seconds = setup.elapsed();
+    out.spec = sim->specStats();
+
+    sim->cycle(warmup_cycles);
+    uint64_t chunk = std::max<uint64_t>(16, warmup_cycles / 4);
+    Stopwatch timer;
+    uint64_t cycles = 0;
+    while (timer.elapsed() < budget_seconds) {
+        sim->cycle(chunk);
+        cycles += chunk;
+        if (timer.elapsed() < budget_seconds / 8)
+            chunk *= 2;
+    }
+    out.measured_cycles = cycles;
+    out.cycles_per_second = static_cast<double>(cycles) / timer.elapsed();
+    return out;
+}
+
+/** Derived total wall time for simulating @p n target cycles. */
+inline double
+projectedTime(const RateResult &r, uint64_t n, bool include_setup)
+{
+    double t = static_cast<double>(n) / r.cycles_per_second;
+    return include_setup ? t + r.setup_seconds : t;
+}
+
+inline void
+rule(char c = '-', int width = 78)
+{
+    for (int i = 0; i < width; ++i)
+        std::putchar(c);
+    std::putchar('\n');
+}
+
+} // namespace bench
+} // namespace cmtl
+
+#endif // CMTL_BENCH_COMMON_H

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Quickstart: model, simulate, test and translate in fifty lines.
+ *
+ * Recreates the paper's Figure 2/4 flow: a parameterizable mux+register
+ * built structurally from library components, simulated with the
+ * SimulationTool, then translated to Verilog-2001 — all from one
+ * program.
+ *
+ * Build & run:  ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "core/sim.h"
+#include "core/translate.h"
+#include "stdlib/basic.h"
+
+using namespace cmtl;
+
+/** Figure 2's MuxReg: an n-way mux feeding a register. */
+class MuxReg : public Model
+{
+  public:
+    std::deque<InPort> in_;
+    InPort sel;
+    OutPort out;
+    stdlib::Mux mux_;
+    stdlib::Register reg_;
+
+    MuxReg(const std::string &name, int nbits, int nports)
+        : Model(nullptr, name), sel(this, "sel", bitsFor(nports)),
+          out(this, "out", nbits), mux_(this, "mux", nbits, nports),
+          reg_(this, "reg", nbits)
+    {
+        for (int i = 0; i < nports; ++i)
+            in_.emplace_back(this, "in" + std::to_string(i), nbits);
+        connect(sel, mux_.sel);
+        for (int i = 0; i < nports; ++i)
+            connect(in_[i], mux_.in_[i]);
+        connect(mux_.out, reg_.in_);
+        connect(reg_.out, out);
+    }
+
+    std::string typeName() const override { return "MuxReg"; }
+};
+
+int
+main()
+{
+    // Elaborate a 8-bit, 4-way instance.
+    MuxReg model("top", 8, 4);
+    auto elab = model.elaborate();
+
+    // Simulate: drive inputs, clock, check outputs (paper Figure 4).
+    SimulationTool sim(elab);
+    for (int i = 0; i < 4; ++i)
+        model.in_[i].setValue(uint64_t(0xa0 + i));
+    std::printf("cycle | sel | out\n");
+    for (int i = 0; i < 4; ++i) {
+        model.sel.setValue(uint64_t(i));
+        sim.cycle();
+        std::printf("%5llu | %3d | 0x%02llx\n",
+                    static_cast<unsigned long long>(sim.numCycles()), i,
+                    static_cast<unsigned long long>(model.out.u64()));
+    }
+
+    // Translate the same elaborated instance to Verilog.
+    std::printf("\n--- generated Verilog "
+                "--------------------------------\n%s",
+                TranslationTool().translate(*elab).c_str());
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Named-bitfield message layouts (PyMTL's BitStruct).
+ *
+ * A BitStructLayout describes a fixed-width message as an ordered list
+ * of named fields. Fields are packed most-significant-first in
+ * declaration order, matching PyMTL/Verilog struct conventions, so the
+ * first declared field occupies the top bits of the message.
+ */
+
+#ifndef CMTL_CORE_BITSTRUCT_H
+#define CMTL_CORE_BITSTRUCT_H
+
+#include <string>
+#include <vector>
+
+#include "bits.h"
+
+namespace cmtl {
+
+/** One field of a BitStructLayout. */
+struct BitField
+{
+    std::string name;
+    int nbits;
+    int lsb; //!< filled in by BitStructLayout
+};
+
+/**
+ * A fixed-width message format with named fields.
+ *
+ * Layouts are value types: two layouts with the same fields describe
+ * the same wire format. Field accessors return slices of a Bits value.
+ */
+class BitStructLayout
+{
+  public:
+    BitStructLayout() = default;
+
+    /** Build from (name, width) pairs; first field = most significant. */
+    BitStructLayout(std::string name,
+                    std::initializer_list<std::pair<const char *, int>> fields);
+
+    const std::string &name() const { return name_; }
+    int nbits() const { return nbits_; }
+    const std::vector<BitField> &fields() const { return fields_; }
+
+    /** True iff a field with the given name exists. */
+    bool hasField(const std::string &field) const;
+    /** Field descriptor; throws std::out_of_range if missing. */
+    const BitField &field(const std::string &field) const;
+
+    /** Extract the named field from a packed message. */
+    Bits get(const Bits &msg, const std::string &field) const;
+    /** Return @p msg with the named field overwritten by @p value. */
+    Bits set(const Bits &msg, const std::string &field,
+             const Bits &value) const;
+    Bits set(const Bits &msg, const std::string &field,
+             uint64_t value) const;
+
+    /** Pack field values given in declaration order. */
+    Bits pack(std::initializer_list<uint64_t> values) const;
+
+    /** Render "field:val|field:val" for line tracing. */
+    std::string trace(const Bits &msg) const;
+
+  private:
+    std::string name_;
+    int nbits_ = 0;
+    std::vector<BitField> fields_;
+};
+
+} // namespace cmtl
+
+#endif // CMTL_CORE_BITSTRUCT_H

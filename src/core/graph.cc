@@ -1,0 +1,96 @@
+#include "graph.h"
+
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+namespace cmtl {
+
+namespace {
+
+std::string
+dotId(const std::string &name)
+{
+    std::string out = "n_";
+    for (char c : name)
+        out += (std::isalnum(static_cast<unsigned char>(c))) ? c : '_';
+    return out;
+}
+
+int
+depthOf(const Model *m)
+{
+    int d = 0;
+    while (m->parent()) {
+        ++d;
+        m = m->parent();
+    }
+    return d;
+}
+
+void
+emitModel(const Model *m, int depth, int max_depth, std::ostream &os)
+{
+    std::string pad(static_cast<size_t>(depth) * 2 + 2, ' ');
+    if (depth >= max_depth || m->children().empty()) {
+        os << pad << dotId(m->fullName()) << " [label=\""
+           << m->instName() << "\\n" << m->typeName()
+           << "\", shape=box];\n";
+        return;
+    }
+    os << pad << "subgraph cluster_" << dotId(m->fullName()) << " {\n"
+       << pad << "  label=\"" << m->instName() << "\";\n"
+       << pad << "  " << dotId(m->fullName())
+       << " [label=\"\", shape=point, style=invis];\n";
+    for (const Model *child : m->children())
+        emitModel(child, depth + 1, max_depth, os);
+    os << pad << "}\n";
+}
+
+/**
+ * The drawable ancestor of a model: models deeper than the depth
+ * limit collapse into their ancestor box at the limit.
+ */
+const Model *
+drawable(const Model *m, int max_depth)
+{
+    while (depthOf(m) > max_depth)
+        m = m->parent();
+    return m;
+}
+
+} // namespace
+
+std::string
+GraphTool::toDot(const Elaboration &elab, int max_depth)
+{
+    std::ostringstream os;
+    os << "digraph \"" << elab.top->fullName() << "\" {\n"
+       << "  rankdir=LR;\n  node [fontsize=10];\n";
+    emitModel(elab.top, 0, max_depth, os);
+
+    // One edge per net that spans distinct drawable models.
+    std::set<std::pair<std::string, std::string>> edges;
+    for (const Net &net : elab.nets) {
+        const Model *first = nullptr;
+        for (const Signal *sig : net.signals) {
+            const Model *box = drawable(sig->owner(), max_depth);
+            if (!first) {
+                first = box;
+                continue;
+            }
+            if (box == first)
+                continue;
+            auto key = std::make_pair(dotId(first->fullName()),
+                                      dotId(box->fullName()));
+            if (edges.insert(key).second) {
+                os << "  " << key.first << " -> " << key.second
+                   << " [dir=none, color=gray50];\n";
+            }
+        }
+    }
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace cmtl

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * GraphTool: design visualization as Graphviz DOT.
+ *
+ * An example of a user-written tool in the model/tool split (paper
+ * Section III-B: "users can write custom tools such as simulators,
+ * translators, analyzers, and visualizers"): renders the elaborated
+ * model hierarchy and inter-model connectivity as a DOT graph.
+ */
+
+#ifndef CMTL_CORE_GRAPH_H
+#define CMTL_CORE_GRAPH_H
+
+#include <string>
+
+#include "model.h"
+
+namespace cmtl {
+
+/** Emits Graphviz DOT for an elaborated design. */
+class GraphTool
+{
+  public:
+    /**
+     * @param max_depth hierarchy depth to expand (deeper models are
+     *                  drawn as leaf boxes); 0 = only the top model
+     */
+    std::string toDot(const Elaboration &elab, int max_depth = 2);
+};
+
+} // namespace cmtl
+
+#endif // CMTL_CORE_GRAPH_H

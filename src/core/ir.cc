@@ -1,0 +1,616 @@
+#include "ir.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "model.h"
+#include "signal.h"
+
+namespace cmtl {
+
+namespace {
+
+IrExpr
+makeNode(IrExprNode node)
+{
+    return IrExpr(std::make_shared<const IrExprNode>(std::move(node)));
+}
+
+void
+requireValid(const IrExpr &e, const char *what)
+{
+    if (!e.valid())
+        throw std::invalid_argument(std::string("invalid IrExpr in ") + what);
+}
+
+IrExpr
+binop(IrOp op, const IrExpr &a, const IrExpr &b)
+{
+    requireValid(a, "binop");
+    requireValid(b, "binop");
+    IrExprNode n;
+    n.kind = IrExprNode::Kind::BinOp;
+    n.op = op;
+    switch (op) {
+      case IrOp::Eq: case IrOp::Ne: case IrOp::Lt: case IrOp::Le:
+      case IrOp::Gt: case IrOp::Ge: case IrOp::LAnd: case IrOp::LOr:
+        n.nbits = 1;
+        break;
+      case IrOp::Shl: case IrOp::Shr: case IrOp::Sra:
+        n.nbits = a.nbits();
+        break;
+      default:
+        n.nbits = std::max(a.nbits(), b.nbits());
+    }
+    n.args = {a.node(), b.node()};
+    return makeNode(std::move(n));
+}
+
+} // namespace
+
+IrExpr
+rd(Signal &sig)
+{
+    IrExprNode n;
+    n.kind = IrExprNode::Kind::Ref;
+    n.nbits = sig.nbits();
+    n.sig = &sig;
+    return makeNode(std::move(n));
+}
+
+IrExpr
+aread(MemArray &array, const IrExpr &index)
+{
+    requireValid(index, "aread");
+    IrExprNode n;
+    n.kind = IrExprNode::Kind::ARead;
+    n.nbits = array.nbits();
+    n.array = &array;
+    n.args = {index.node()};
+    return makeNode(std::move(n));
+}
+
+IrExpr
+lit(int nbits, uint64_t value)
+{
+    IrExprNode n;
+    n.kind = IrExprNode::Kind::Const;
+    n.nbits = nbits;
+    n.cval = Bits(nbits, value);
+    return makeNode(std::move(n));
+}
+
+IrExpr
+lit(const Bits &value)
+{
+    IrExprNode n;
+    n.kind = IrExprNode::Kind::Const;
+    n.nbits = value.nbits();
+    n.cval = value;
+    return makeNode(std::move(n));
+}
+
+IrExpr
+IrExpr::slice(int lsb, int len) const
+{
+    requireValid(*this, "slice");
+    if (lsb < 0 || len < 1 || lsb + len > nbits())
+        throw std::out_of_range("IR slice out of range");
+    IrExprNode n;
+    n.kind = IrExprNode::Kind::Slice;
+    n.nbits = len;
+    n.lsb = lsb;
+    n.args = {node_};
+    return makeNode(std::move(n));
+}
+
+IrExpr
+IrExpr::zext(int nbits) const
+{
+    requireValid(*this, "zext");
+    if (nbits == this->nbits())
+        return *this;
+    IrExprNode n;
+    n.kind = IrExprNode::Kind::Zext;
+    n.nbits = nbits;
+    n.args = {node_};
+    return makeNode(std::move(n));
+}
+
+IrExpr
+IrExpr::sext(int nbits) const
+{
+    requireValid(*this, "sext");
+    if (nbits == this->nbits())
+        return *this;
+    IrExprNode n;
+    n.kind = IrExprNode::Kind::Sext;
+    n.nbits = nbits;
+    n.args = {node_};
+    return makeNode(std::move(n));
+}
+
+IrExpr
+IrExpr::operator~() const
+{
+    IrExprNode n;
+    n.kind = IrExprNode::Kind::UnOp;
+    n.unop = IrUnOp::Inv;
+    n.nbits = nbits();
+    n.args = {node_};
+    return makeNode(std::move(n));
+}
+
+IrExpr
+IrExpr::operator!() const
+{
+    IrExprNode n;
+    n.kind = IrExprNode::Kind::UnOp;
+    n.unop = IrUnOp::LNot;
+    n.nbits = 1;
+    n.args = {node_};
+    return makeNode(std::move(n));
+}
+
+IrExpr
+IrExpr::reduceOr() const
+{
+    IrExprNode n;
+    n.kind = IrExprNode::Kind::UnOp;
+    n.unop = IrUnOp::ReduceOr;
+    n.nbits = 1;
+    n.args = {node_};
+    return makeNode(std::move(n));
+}
+
+IrExpr
+IrExpr::reduceAnd() const
+{
+    IrExprNode n;
+    n.kind = IrExprNode::Kind::UnOp;
+    n.unop = IrUnOp::ReduceAnd;
+    n.nbits = 1;
+    n.args = {node_};
+    return makeNode(std::move(n));
+}
+
+IrExpr
+IrExpr::reduceXor() const
+{
+    IrExprNode n;
+    n.kind = IrExprNode::Kind::UnOp;
+    n.unop = IrUnOp::ReduceXor;
+    n.nbits = 1;
+    n.args = {node_};
+    return makeNode(std::move(n));
+}
+
+IrExpr
+mux(const IrExpr &cond, const IrExpr &a, const IrExpr &b)
+{
+    requireValid(cond, "mux");
+    requireValid(a, "mux");
+    requireValid(b, "mux");
+    IrExprNode n;
+    n.kind = IrExprNode::Kind::Mux;
+    n.nbits = std::max(a.nbits(), b.nbits());
+    n.args = {cond.node(), a.node(), b.node()};
+    return makeNode(std::move(n));
+}
+
+IrExpr
+cat(std::initializer_list<IrExpr> parts)
+{
+    IrExprNode n;
+    n.kind = IrExprNode::Kind::Concat;
+    n.nbits = 0;
+    for (const auto &p : parts) {
+        requireValid(p, "cat");
+        n.nbits += p.nbits();
+        n.args.push_back(p.node());
+    }
+    if (n.args.empty())
+        throw std::invalid_argument("cat of zero parts");
+    return makeNode(std::move(n));
+}
+
+IrExpr
+cat(const IrExpr &hi, const IrExpr &lo)
+{
+    return cat({hi, lo});
+}
+
+IrExpr operator+(const IrExpr &a, const IrExpr &b)
+{ return binop(IrOp::Add, a, b); }
+IrExpr operator-(const IrExpr &a, const IrExpr &b)
+{ return binop(IrOp::Sub, a, b); }
+IrExpr operator*(const IrExpr &a, const IrExpr &b)
+{ return binop(IrOp::Mul, a, b); }
+IrExpr operator&(const IrExpr &a, const IrExpr &b)
+{ return binop(IrOp::And, a, b); }
+IrExpr operator|(const IrExpr &a, const IrExpr &b)
+{ return binop(IrOp::Or, a, b); }
+IrExpr operator^(const IrExpr &a, const IrExpr &b)
+{ return binop(IrOp::Xor, a, b); }
+IrExpr operator<<(const IrExpr &a, const IrExpr &b)
+{ return binop(IrOp::Shl, a, b); }
+IrExpr operator>>(const IrExpr &a, const IrExpr &b)
+{ return binop(IrOp::Shr, a, b); }
+IrExpr sra(const IrExpr &a, const IrExpr &b)
+{ return binop(IrOp::Sra, a, b); }
+IrExpr operator==(const IrExpr &a, const IrExpr &b)
+{ return binop(IrOp::Eq, a, b); }
+IrExpr operator!=(const IrExpr &a, const IrExpr &b)
+{ return binop(IrOp::Ne, a, b); }
+IrExpr operator<(const IrExpr &a, const IrExpr &b)
+{ return binop(IrOp::Lt, a, b); }
+IrExpr operator<=(const IrExpr &a, const IrExpr &b)
+{ return binop(IrOp::Le, a, b); }
+IrExpr operator>(const IrExpr &a, const IrExpr &b)
+{ return binop(IrOp::Gt, a, b); }
+IrExpr operator>=(const IrExpr &a, const IrExpr &b)
+{ return binop(IrOp::Ge, a, b); }
+IrExpr operator&&(const IrExpr &a, const IrExpr &b)
+{ return binop(IrOp::LAnd, a, b); }
+IrExpr operator||(const IrExpr &a, const IrExpr &b)
+{ return binop(IrOp::LOr, a, b); }
+
+IrExpr operator+(const IrExpr &a, uint64_t b)
+{ return a + lit(a.nbits(), b); }
+IrExpr operator-(const IrExpr &a, uint64_t b)
+{ return a - lit(a.nbits(), b); }
+IrExpr operator==(const IrExpr &a, uint64_t b)
+{ return a == lit(a.nbits(), b); }
+IrExpr operator!=(const IrExpr &a, uint64_t b)
+{ return a != lit(a.nbits(), b); }
+IrExpr operator<(const IrExpr &a, uint64_t b)
+{ return a < lit(a.nbits(), b); }
+IrExpr operator<=(const IrExpr &a, uint64_t b)
+{ return a <= lit(a.nbits(), b); }
+IrExpr operator>(const IrExpr &a, uint64_t b)
+{ return a > lit(a.nbits(), b); }
+IrExpr operator>=(const IrExpr &a, uint64_t b)
+{ return a >= lit(a.nbits(), b); }
+IrExpr operator<<(const IrExpr &a, int b)
+{ return a << lit(32, static_cast<uint64_t>(b)); }
+IrExpr operator>>(const IrExpr &a, int b)
+{ return a >> lit(32, static_cast<uint64_t>(b)); }
+
+BlockBuilder::BlockBuilder(IrBlock *block) : block_(block)
+{
+    stack_.push_back(&block_->stmts);
+}
+
+void
+BlockBuilder::push(const IrStmt &stmt)
+{
+    current()->push_back(stmt);
+}
+
+IrExpr
+BlockBuilder::let(const std::string &name, const IrExpr &rhs)
+{
+    if (!rhs.valid())
+        throw std::invalid_argument("let: invalid rhs");
+    int idx = static_cast<int>(block_->temps.size());
+    block_->temps.push_back(IrTemp{name, rhs.nbits()});
+
+    IrStmt stmt;
+    stmt.kind = IrStmt::Kind::Assign;
+    stmt.temp = idx;
+    stmt.rhs = rhs.node();
+    push(stmt);
+
+    IrExprNode ref;
+    ref.kind = IrExprNode::Kind::Temp;
+    ref.nbits = rhs.nbits();
+    ref.temp = idx;
+    return IrExpr(std::make_shared<const IrExprNode>(std::move(ref)));
+}
+
+void
+BlockBuilder::setTemp(const IrExpr &temp, const IrExpr &rhs)
+{
+    if (!temp.valid() || temp.node()->kind != IrExprNode::Kind::Temp)
+        throw std::invalid_argument("setTemp: target is not a temp");
+    IrStmt stmt;
+    stmt.kind = IrStmt::Kind::Assign;
+    stmt.temp = temp.node()->temp;
+    stmt.rhs = rhs.node();
+    push(stmt);
+}
+
+void
+BlockBuilder::assign(Signal &target, const IrExpr &rhs)
+{
+    if (!rhs.valid())
+        throw std::invalid_argument("assign: invalid rhs");
+    IrStmt stmt;
+    stmt.kind = IrStmt::Kind::Assign;
+    stmt.sig = &target;
+    stmt.nonblocking = block_->sequential;
+    stmt.rhs = rhs.nbits() == target.nbits()
+                   ? rhs.node()
+                   : rhs.zext(target.nbits()).node();
+    push(stmt);
+}
+
+void
+BlockBuilder::assign(Signal &target, uint64_t rhs)
+{
+    assign(target, lit(target.nbits(), rhs));
+}
+
+void
+BlockBuilder::assignSlice(Signal &target, int lsb, int width,
+                          const IrExpr &rhs)
+{
+    if (lsb < 0 || width < 1 || lsb + width > target.nbits())
+        throw std::out_of_range("assignSlice out of range");
+    IrStmt stmt;
+    stmt.kind = IrStmt::Kind::Assign;
+    stmt.sig = &target;
+    stmt.lsb = lsb;
+    stmt.width = width;
+    stmt.nonblocking = block_->sequential;
+    stmt.rhs = rhs.nbits() == width ? rhs.node() : rhs.zext(width).node();
+    push(stmt);
+}
+
+void
+BlockBuilder::writeArray(MemArray &target, const IrExpr &index,
+                         const IrExpr &rhs)
+{
+    if (!block_->sequential)
+        throw std::logic_error(
+            "writeArray is only legal in sequential (tickRtl) blocks");
+    if (!index.valid() || !rhs.valid())
+        throw std::invalid_argument("writeArray: invalid operand");
+    IrStmt stmt;
+    stmt.kind = IrStmt::Kind::AWrite;
+    stmt.array = &target;
+    stmt.cond = index.node();
+    stmt.rhs = rhs.nbits() == target.nbits()
+                   ? rhs.node()
+                   : rhs.zext(target.nbits()).node();
+    push(stmt);
+}
+
+void
+BlockBuilder::if_(const IrExpr &cond, const std::function<void()> &then_,
+                  const std::function<void()> &else_)
+{
+    if (!cond.valid())
+        throw std::invalid_argument("if_: invalid condition");
+    IrStmt stmt;
+    stmt.kind = IrStmt::Kind::If;
+    stmt.cond = cond.node();
+    push(stmt);
+    IrStmt &placed = current()->back();
+
+    stack_.push_back(&placed.thenBody);
+    then_();
+    stack_.pop_back();
+
+    if (else_) {
+        stack_.push_back(&placed.elseBody);
+        else_();
+        stack_.pop_back();
+    }
+}
+
+void
+BlockBuilder::ifChain(
+    std::initializer_list<std::pair<IrExpr, std::function<void()>>> arms,
+    const std::function<void()> &else_)
+{
+    // Build nested if/else from the arm list, recursively.
+    std::vector<std::pair<IrExpr, std::function<void()>>> v(arms);
+    std::function<void(size_t)> emit = [&](size_t i) {
+        if (i >= v.size()) {
+            if (else_)
+                else_();
+            return;
+        }
+        if_(v[i].first, v[i].second, [&] { emit(i + 1); });
+    };
+    emit(0);
+}
+
+namespace {
+
+void
+collectExpr(const IrExprPtr &e, std::vector<Signal *> &reads)
+{
+    if (!e)
+        return;
+    if (e->kind == IrExprNode::Kind::Ref)
+        reads.push_back(e->sig);
+    for (const auto &arg : e->args)
+        collectExpr(arg, reads);
+}
+
+void
+collectStmts(const std::vector<IrStmt> &stmts, std::vector<Signal *> &reads,
+             std::vector<Signal *> &writes)
+{
+    for (const auto &s : stmts) {
+        switch (s.kind) {
+          case IrStmt::Kind::Assign:
+            collectExpr(s.rhs, reads);
+            if (s.sig) {
+                writes.push_back(s.sig);
+                // Partial writes also read the previous contents.
+                if (s.width >= 0 && !s.nonblocking)
+                    reads.push_back(s.sig);
+            }
+            break;
+          case IrStmt::Kind::If:
+            collectExpr(s.cond, reads);
+            collectStmts(s.thenBody, reads, writes);
+            collectStmts(s.elseBody, reads, writes);
+            break;
+          case IrStmt::Kind::AWrite:
+            collectExpr(s.cond, reads); // index
+            collectExpr(s.rhs, reads);
+            break;
+        }
+    }
+}
+
+void
+collectArraysExpr(const IrExprPtr &e, std::vector<MemArray *> &reads)
+{
+    if (!e)
+        return;
+    if (e->kind == IrExprNode::Kind::ARead)
+        reads.push_back(e->array);
+    for (const auto &arg : e->args)
+        collectArraysExpr(arg, reads);
+}
+
+void
+collectArraysStmts(const std::vector<IrStmt> &stmts,
+                   std::vector<MemArray *> &reads,
+                   std::vector<MemArray *> &writes)
+{
+    for (const auto &s : stmts) {
+        collectArraysExpr(s.rhs, reads);
+        collectArraysExpr(s.cond, reads);
+        if (s.kind == IrStmt::Kind::AWrite)
+            writes.push_back(s.array);
+        collectArraysStmts(s.thenBody, reads, writes);
+        collectArraysStmts(s.elseBody, reads, writes);
+    }
+}
+
+void
+dedup(std::vector<Signal *> &v)
+{
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+std::string
+exprToString(const IrExprPtr &e)
+{
+    if (!e)
+        return "<null>";
+    std::ostringstream os;
+    switch (e->kind) {
+      case IrExprNode::Kind::Const:
+        os << e->cval.toHexString();
+        break;
+      case IrExprNode::Kind::Ref:
+        os << e->sig->fullName();
+        break;
+      case IrExprNode::Kind::Temp:
+        os << "t" << e->temp;
+        break;
+      case IrExprNode::Kind::BinOp:
+        os << "(" << exprToString(e->args[0]) << " op"
+           << static_cast<int>(e->op) << " " << exprToString(e->args[1])
+           << ")";
+        break;
+      case IrExprNode::Kind::UnOp:
+        os << "(un" << static_cast<int>(e->unop) << " "
+           << exprToString(e->args[0]) << ")";
+        break;
+      case IrExprNode::Kind::Slice:
+        os << exprToString(e->args[0]) << "[" << (e->lsb + e->nbits - 1)
+           << ":" << e->lsb << "]";
+        break;
+      case IrExprNode::Kind::Concat:
+        os << "{";
+        for (size_t i = 0; i < e->args.size(); ++i)
+            os << (i ? "," : "") << exprToString(e->args[i]);
+        os << "}";
+        break;
+      case IrExprNode::Kind::Mux:
+        os << "(" << exprToString(e->args[0]) << " ? "
+           << exprToString(e->args[1]) << " : " << exprToString(e->args[2])
+           << ")";
+        break;
+      case IrExprNode::Kind::Zext:
+        os << "zext(" << exprToString(e->args[0]) << "," << e->nbits << ")";
+        break;
+      case IrExprNode::Kind::Sext:
+        os << "sext(" << exprToString(e->args[0]) << "," << e->nbits << ")";
+        break;
+      case IrExprNode::Kind::ARead:
+        os << e->array->fullName() << "[" << exprToString(e->args[0])
+           << "]";
+        break;
+    }
+    return os.str();
+}
+
+void
+stmtsToString(const std::vector<IrStmt> &stmts, int indent,
+              std::ostringstream &os)
+{
+    std::string pad(indent, ' ');
+    for (const auto &s : stmts) {
+        switch (s.kind) {
+          case IrStmt::Kind::Assign:
+            os << pad;
+            if (s.sig)
+                os << s.sig->fullName();
+            else
+                os << "t" << s.temp;
+            if (s.width >= 0)
+                os << "[" << (s.lsb + s.width - 1) << ":" << s.lsb << "]";
+            os << (s.nonblocking ? " <= " : " = ") << exprToString(s.rhs)
+               << "\n";
+            break;
+          case IrStmt::Kind::If:
+            os << pad << "if " << exprToString(s.cond) << ":\n";
+            stmtsToString(s.thenBody, indent + 2, os);
+            if (!s.elseBody.empty()) {
+                os << pad << "else:\n";
+                stmtsToString(s.elseBody, indent + 2, os);
+            }
+            break;
+          case IrStmt::Kind::AWrite:
+            os << pad << s.array->fullName() << "["
+               << exprToString(s.cond) << "] <= " << exprToString(s.rhs)
+               << "\n";
+            break;
+        }
+    }
+}
+
+} // namespace
+
+void
+irCollectAccess(const IrBlock &block, std::vector<Signal *> &reads,
+                std::vector<Signal *> &writes)
+{
+    collectStmts(block.stmts, reads, writes);
+    dedup(reads);
+    dedup(writes);
+}
+
+void
+irCollectArrays(const IrBlock &block, std::vector<MemArray *> &reads,
+                std::vector<MemArray *> &writes)
+{
+    collectArraysStmts(block.stmts, reads, writes);
+    std::sort(reads.begin(), reads.end());
+    reads.erase(std::unique(reads.begin(), reads.end()), reads.end());
+    std::sort(writes.begin(), writes.end());
+    writes.erase(std::unique(writes.begin(), writes.end()), writes.end());
+}
+
+std::string
+irToString(const IrBlock &block)
+{
+    std::ostringstream os;
+    os << (block.sequential ? "tick_rtl " : "combinational ") << block.name
+       << ":\n";
+    stmtsToString(block.stmts, 2, os);
+    return os.str();
+}
+
+} // namespace cmtl

@@ -1,0 +1,274 @@
+/**
+ * @file
+ * The CMTL hardware-description IR.
+ *
+ * RTL logic (and CL logic that wants to be specializable) is written
+ * against this small expression/statement AST rather than as opaque
+ * host-language lambdas. This is the C++ analog of the information
+ * PyMTL extracts from Python source via the `ast` module: the same IR
+ * is tree-walk interpreted (CPython/PyPy analogs), compiled to bytecode
+ * or C++ by the SimJIT specializers, and pretty-printed as
+ * Verilog-2001 by the translation tool.
+ *
+ * Expressions are immutable shared nodes built with overloaded
+ * operators on the lightweight IrExpr handle; statements are built
+ * through a BlockBuilder obtained from Model::combinational() or
+ * Model::tickRtl().
+ */
+
+#ifndef CMTL_CORE_IR_H
+#define CMTL_CORE_IR_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bits.h"
+
+namespace cmtl {
+
+class Signal;
+class MemArray;
+
+/** Binary operator kinds. Comparison ops produce 1-bit results. */
+enum class IrOp
+{
+    Add, Sub, Mul, And, Or, Xor, Shl, Shr, Sra,
+    Eq, Ne, Lt, Le, Gt, Ge,
+    LAnd, LOr, //!< logical: 1-bit result from operand truthiness
+};
+
+/** Unary operator kinds. */
+enum class IrUnOp
+{
+    Inv,       //!< bitwise complement
+    LNot,      //!< logical not: 1-bit
+    ReduceOr, ReduceAnd, ReduceXor,
+};
+
+struct IrExprNode;
+using IrExprPtr = std::shared_ptr<const IrExprNode>;
+
+/** One node of an expression tree. */
+struct IrExprNode
+{
+    enum class Kind { Const, Ref, Temp, BinOp, UnOp, Slice, Concat, Mux,
+                      Zext, Sext, ARead };
+
+    Kind kind;
+    int nbits;
+
+    // Const
+    Bits cval;
+    // Ref
+    Signal *sig = nullptr;
+    // ARead (index expression in args[0])
+    MemArray *array = nullptr;
+    // Temp
+    int temp = -1;
+    // BinOp / UnOp
+    IrOp op = IrOp::Add;
+    IrUnOp unop = IrUnOp::Inv;
+    // Slice
+    int lsb = 0;
+    // Operands (BinOp: 2, UnOp/Slice/Zext/Sext: 1, Mux: 3, Concat: n)
+    std::vector<IrExprPtr> args;
+};
+
+/**
+ * Value-semantics handle to an expression node, with the operator
+ * overloads that make model code read like Verilog.
+ */
+class IrExpr
+{
+  public:
+    IrExpr() = default;
+    explicit IrExpr(IrExprPtr node) : node_(std::move(node)) {}
+
+    const IrExprPtr &node() const { return node_; }
+    bool valid() const { return node_ != nullptr; }
+    int nbits() const { return node_->nbits; }
+
+    /** Bits [lsb, lsb+len). */
+    IrExpr slice(int lsb, int len) const;
+    /** Verilog-style inclusive [msb:lsb]. */
+    IrExpr operator()(int msb, int lsb) const
+    {
+        return slice(lsb, msb - lsb + 1);
+    }
+    /** Single bit select. */
+    IrExpr bit(int pos) const { return slice(pos, 1); }
+
+    IrExpr zext(int nbits) const;
+    IrExpr sext(int nbits) const;
+
+    IrExpr operator~() const;
+    /** Logical not (1-bit). */
+    IrExpr operator!() const;
+    IrExpr reduceOr() const;
+    IrExpr reduceAnd() const;
+    IrExpr reduceXor() const;
+
+  private:
+    IrExprPtr node_;
+};
+
+/** Expression referencing a signal's current value. */
+IrExpr rd(Signal &sig);
+/** Asynchronous read of a memory array at a dynamic index. */
+IrExpr aread(MemArray &array, const IrExpr &index);
+/** Constant of explicit width. */
+IrExpr lit(int nbits, uint64_t value);
+/** Wide constant. */
+IrExpr lit(const Bits &value);
+
+/** cond ? a : b. Operands extended to the wider of a/b. */
+IrExpr mux(const IrExpr &cond, const IrExpr &a, const IrExpr &b);
+/** Verilog-style concatenation; first argument is most significant. */
+IrExpr cat(std::initializer_list<IrExpr> parts);
+IrExpr cat(const IrExpr &hi, const IrExpr &lo);
+
+// Arithmetic/bitwise operators: result width = max of operand widths.
+IrExpr operator+(const IrExpr &a, const IrExpr &b);
+IrExpr operator-(const IrExpr &a, const IrExpr &b);
+IrExpr operator*(const IrExpr &a, const IrExpr &b);
+IrExpr operator&(const IrExpr &a, const IrExpr &b);
+IrExpr operator|(const IrExpr &a, const IrExpr &b);
+IrExpr operator^(const IrExpr &a, const IrExpr &b);
+// Shifts: result width = lhs width.
+IrExpr operator<<(const IrExpr &a, const IrExpr &b);
+IrExpr operator>>(const IrExpr &a, const IrExpr &b);
+IrExpr sra(const IrExpr &a, const IrExpr &b);
+// Comparisons: 1-bit results, unsigned.
+IrExpr operator==(const IrExpr &a, const IrExpr &b);
+IrExpr operator!=(const IrExpr &a, const IrExpr &b);
+IrExpr operator<(const IrExpr &a, const IrExpr &b);
+IrExpr operator<=(const IrExpr &a, const IrExpr &b);
+IrExpr operator>(const IrExpr &a, const IrExpr &b);
+IrExpr operator>=(const IrExpr &a, const IrExpr &b);
+// Logical combinators on truthiness: 1-bit results.
+IrExpr operator&&(const IrExpr &a, const IrExpr &b);
+IrExpr operator||(const IrExpr &a, const IrExpr &b);
+
+// Mixed-literal conveniences: the integer takes the expression's width.
+IrExpr operator+(const IrExpr &a, uint64_t b);
+IrExpr operator-(const IrExpr &a, uint64_t b);
+IrExpr operator==(const IrExpr &a, uint64_t b);
+IrExpr operator!=(const IrExpr &a, uint64_t b);
+IrExpr operator<(const IrExpr &a, uint64_t b);
+IrExpr operator<=(const IrExpr &a, uint64_t b);
+IrExpr operator>(const IrExpr &a, uint64_t b);
+IrExpr operator>=(const IrExpr &a, uint64_t b);
+IrExpr operator<<(const IrExpr &a, int b);
+IrExpr operator>>(const IrExpr &a, int b);
+
+/** One statement of a concurrent block. */
+struct IrStmt
+{
+    enum class Kind { Assign, If, AWrite };
+
+    Kind kind = Kind::Assign;
+
+    // AWrite: target array; index in cond, value in rhs.
+    MemArray *array = nullptr;
+
+    // Assign: exactly one of sig / temp is the target.
+    Signal *sig = nullptr;
+    int temp = -1;
+    int lsb = 0;       //!< target slice lsb (0 for whole)
+    int width = -1;    //!< target slice width (-1 = whole signal)
+    bool nonblocking = false;
+    IrExprPtr rhs;
+
+    // If
+    IrExprPtr cond;
+    std::vector<IrStmt> thenBody;
+    std::vector<IrStmt> elseBody;
+};
+
+/** Declared temporary (block-local variable). */
+struct IrTemp
+{
+    std::string name;
+    int nbits;
+};
+
+/** A combinational or sequential concurrent block in IR form. */
+struct IrBlock
+{
+    std::string name;
+    bool sequential = false; //!< tick_rtl (non-blocking) vs combinational
+    std::vector<IrTemp> temps;
+    std::vector<IrStmt> stmts;
+};
+
+/**
+ * Builds statements into an IrBlock.
+ *
+ * Nested control flow is expressed with lambdas so the builder can
+ * maintain a statement-list stack:
+ *
+ *     auto &b = s.tickRtl("seq");
+ *     b.if_(rd(s.en), [&]{ b.assign(s.count, rd(s.count) + 1); });
+ */
+class BlockBuilder
+{
+  public:
+    explicit BlockBuilder(IrBlock *block);
+
+    /** Declare a named temporary and assign it; returns a Temp ref. */
+    IrExpr let(const std::string &name, const IrExpr &rhs);
+    /** Re-assign a previously declared temporary. */
+    void setTemp(const IrExpr &temp, const IrExpr &rhs);
+
+    /** Assign a signal. Non-blocking in sequential blocks. */
+    void assign(Signal &target, const IrExpr &rhs);
+    void assign(Signal &target, uint64_t rhs);
+    /** Assign bits [lsb, lsb+width) of a signal. */
+    void assignSlice(Signal &target, int lsb, int width, const IrExpr &rhs);
+
+    /**
+     * Synchronous write to a memory array. Only legal in sequential
+     * blocks; effective at the clock edge.
+     */
+    void writeArray(MemArray &target, const IrExpr &index,
+                    const IrExpr &rhs);
+
+    /** if (cond) { then_() } else { else_() } */
+    void if_(const IrExpr &cond, const std::function<void()> &then_,
+             const std::function<void()> &else_ = nullptr);
+
+    /**
+     * elseIf chains: sugar producing nested if/else.
+     * switch-like dispatch is expressed as if/elseIf chains.
+     */
+    void ifChain(std::initializer_list<
+                     std::pair<IrExpr, std::function<void()>>> arms,
+                 const std::function<void()> &else_ = nullptr);
+
+    IrBlock *block() const { return block_; }
+
+  private:
+    std::vector<IrStmt> *current() { return stack_.back(); }
+    void push(const IrStmt &stmt);
+
+    IrBlock *block_;
+    std::vector<std::vector<IrStmt> *> stack_;
+};
+
+/** Collect the signals read / written by a block (for scheduling). */
+void irCollectAccess(const IrBlock &block, std::vector<Signal *> &reads,
+                     std::vector<Signal *> &writes);
+
+/** Collect the memory arrays read / written by a block. */
+void irCollectArrays(const IrBlock &block,
+                     std::vector<MemArray *> &reads,
+                     std::vector<MemArray *> &writes);
+
+/** Human-readable dump (debugging aid). */
+std::string irToString(const IrBlock &block);
+
+} // namespace cmtl
+
+#endif // CMTL_CORE_IR_H

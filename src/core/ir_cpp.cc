@@ -1,0 +1,260 @@
+#include "ir_cpp.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace cmtl {
+
+namespace {
+
+std::string
+maskHex(int nbits)
+{
+    uint64_t mask =
+        nbits >= 64 ? ~uint64_t(0) : ((uint64_t(1) << nbits) - 1);
+    std::ostringstream os;
+    os << "0x" << std::hex << mask << "ull";
+    return os.str();
+}
+
+/** Emits the body of one block. */
+class BlockEmitter
+{
+  public:
+    BlockEmitter(const ElabBlock &blk, const ArenaStore &store,
+                 std::ostringstream &os)
+        : blk_(blk), store_(store), os_(os)
+    {}
+
+    void
+    run(int indent)
+    {
+        for (size_t i = 0; i < blk_.ir->temps.size(); ++i) {
+            pad(indent);
+            os_ << "uint64_t t" << i << " = 0; (void)t" << i << ";\n";
+        }
+        emitStmts(blk_.ir->stmts, indent);
+    }
+
+  private:
+    void
+    pad(int indent)
+    {
+        os_ << std::string(indent, ' ');
+    }
+
+    std::string
+    cur(int net) const
+    {
+        return "w[" + std::to_string(store_.offset(net)) + "]";
+    }
+
+    std::string
+    nxt(int net) const
+    {
+        return "w[" +
+               std::to_string(store_.offset(net) + store_.wordsPerPhase()) +
+               "]";
+    }
+
+    std::string
+    expr(const IrExprNode *e)
+    {
+        switch (e->kind) {
+          case IrExprNode::Kind::Const: {
+            std::ostringstream os;
+            os << "0x" << std::hex << e->cval.toUint64() << "ull";
+            return os.str();
+          }
+          case IrExprNode::Kind::Ref:
+            return cur(e->sig->netId());
+          case IrExprNode::Kind::Temp:
+            return "t" + std::to_string(e->temp);
+          case IrExprNode::Kind::BinOp: {
+            std::string a = expr(e->args[0].get());
+            std::string b = expr(e->args[1].get());
+            std::string m = maskHex(e->nbits);
+            switch (e->op) {
+              case IrOp::Add: return "((" + a + " + " + b + ") & " + m + ")";
+              case IrOp::Sub: return "((" + a + " - " + b + ") & " + m + ")";
+              case IrOp::Mul: return "((" + a + " * " + b + ") & " + m + ")";
+              case IrOp::And: return "(" + a + " & " + b + ")";
+              case IrOp::Or: return "(" + a + " | " + b + ")";
+              case IrOp::Xor: return "(" + a + " ^ " + b + ")";
+              case IrOp::Shl:
+                return "(cmtl_shl(" + a + ", " + b + ") & " + m + ")";
+              case IrOp::Shr:
+                return "cmtl_shr(" + a + ", " + b + ")";
+              case IrOp::Sra:
+                return "(cmtl_sra(" + a + ", " +
+                       std::to_string(e->args[0]->nbits) + ", " + b +
+                       ") & " + m + ")";
+              case IrOp::Eq: return "uint64_t(" + a + " == " + b + ")";
+              case IrOp::Ne: return "uint64_t(" + a + " != " + b + ")";
+              case IrOp::Lt: return "uint64_t(" + a + " < " + b + ")";
+              case IrOp::Le: return "uint64_t(" + a + " <= " + b + ")";
+              case IrOp::Gt: return "uint64_t(" + a + " > " + b + ")";
+              case IrOp::Ge: return "uint64_t(" + a + " >= " + b + ")";
+              case IrOp::LAnd:
+                return "uint64_t((" + a + " != 0) && (" + b + " != 0))";
+              case IrOp::LOr:
+                return "uint64_t((" + a + " != 0) || (" + b + " != 0))";
+            }
+            throw std::logic_error("unhandled binop");
+          }
+          case IrExprNode::Kind::UnOp: {
+            std::string a = expr(e->args[0].get());
+            switch (e->unop) {
+              case IrUnOp::Inv:
+                return "(~" + a + " & " + maskHex(e->nbits) + ")";
+              case IrUnOp::LNot:
+                return "uint64_t(" + a + " == 0)";
+              case IrUnOp::ReduceOr:
+                return "uint64_t(" + a + " != 0)";
+              case IrUnOp::ReduceAnd:
+                return "uint64_t(" + a +
+                       " == " + maskHex(e->args[0]->nbits) + ")";
+              case IrUnOp::ReduceXor:
+                return "(uint64_t)(__builtin_popcountll(" + a + ") & 1)";
+            }
+            throw std::logic_error("unhandled unop");
+          }
+          case IrExprNode::Kind::Slice:
+            return "((" + expr(e->args[0].get()) + " >> " +
+                   std::to_string(e->lsb) + ") & " + maskHex(e->nbits) +
+                   ")";
+          case IrExprNode::Kind::Concat: {
+            // Most-significant part first.
+            std::string out;
+            int pos = e->nbits;
+            for (const auto &argp : e->args) {
+                pos -= argp->nbits;
+                std::string part = "(" + expr(argp.get()) + " << " +
+                                   std::to_string(pos) + ")";
+                if (pos == 0)
+                    part = expr(argp.get());
+                out = out.empty() ? part : "(" + out + " | " + part + ")";
+            }
+            return out;
+          }
+          case IrExprNode::Kind::Mux:
+            return "((" + expr(e->args[0].get()) + ") ? uint64_t(" +
+                   expr(e->args[1].get()) + ") : uint64_t(" +
+                   expr(e->args[2].get()) + "))";
+          case IrExprNode::Kind::Zext:
+            return expr(e->args[0].get());
+          case IrExprNode::Kind::Sext:
+            return "(cmtl_sext(" + expr(e->args[0].get()) + ", " +
+                   std::to_string(e->args[0]->nbits) + ") & " +
+                   maskHex(e->nbits) + ")";
+          case IrExprNode::Kind::ARead: {
+            int id = e->array->arrayId();
+            return "w[" + std::to_string(store_.arrayOffset(id)) +
+                   " + ((" + expr(e->args[0].get()) + ") & " +
+                   std::to_string(store_.arrayIndexMask(id)) + "ull)]";
+          }
+        }
+        throw std::logic_error("unhandled expr kind");
+    }
+
+    void
+    emitStmts(const std::vector<IrStmt> &stmts, int indent)
+    {
+        bool seq = blk_.ir->sequential;
+        for (const IrStmt &s : stmts) {
+            switch (s.kind) {
+              case IrStmt::Kind::Assign: {
+                pad(indent);
+                if (s.temp >= 0 && !s.sig) {
+                    os_ << "t" << s.temp << " = " << expr(s.rhs.get())
+                        << ";\n";
+                    break;
+                }
+                int net = s.sig->netId();
+                std::string dst =
+                    (seq && s.nonblocking) ? nxt(net) : cur(net);
+                if (s.width < 0) {
+                    os_ << dst << " = " << expr(s.rhs.get()) << " & "
+                        << maskHex(store_.nbits(net)) << ";\n";
+                } else {
+                    std::string m = maskHex(s.width);
+                    os_ << dst << " = (" << dst << " & ~(" << m << " << "
+                        << s.lsb << ")) | ((" << expr(s.rhs.get()) << " & "
+                        << m << ") << " << s.lsb << ");\n";
+                }
+                break;
+              }
+              case IrStmt::Kind::If:
+                pad(indent);
+                os_ << "if (" << expr(s.cond.get()) << ") {\n";
+                emitStmts(s.thenBody, indent + 4);
+                if (!s.elseBody.empty()) {
+                    pad(indent);
+                    os_ << "} else {\n";
+                    emitStmts(s.elseBody, indent + 4);
+                }
+                pad(indent);
+                os_ << "}\n";
+                break;
+              case IrStmt::Kind::AWrite: {
+                pad(indent);
+                int id = s.array->arrayId();
+                os_ << "w[" << store_.arrayOffset(id) << " + (("
+                    << expr(s.cond.get()) << ") & "
+                    << store_.arrayIndexMask(id) << "ull)] = "
+                    << expr(s.rhs.get()) << " & "
+                    << maskHex(s.array->nbits()) << ";\n";
+                break;
+              }
+            }
+        }
+    }
+
+    const ElabBlock &blk_;
+    const ArenaStore &store_;
+    std::ostringstream &os_;
+};
+
+} // namespace
+
+std::string
+cppGroupSymbol(int k)
+{
+    return "cmtl_grp_" + std::to_string(k);
+}
+
+std::string
+cppEmitProgram(const Elaboration &elab, const ArenaStore &store,
+               const std::vector<std::vector<int>> &groups)
+{
+    std::ostringstream os;
+    os << "// Generated by CMTL SimJIT-C++ specializer.\n"
+       << "// Design: " << elab.top->fullName() << "\n"
+       << "#include <cstdint>\n\n"
+       << "static inline uint64_t cmtl_shl(uint64_t a, uint64_t n)\n"
+       << "{ return n >= 64 ? 0 : a << n; }\n"
+       << "static inline uint64_t cmtl_shr(uint64_t a, uint64_t n)\n"
+       << "{ return n >= 64 ? 0 : a >> n; }\n"
+       << "static inline uint64_t cmtl_sra(uint64_t a, int nb, uint64_t n)\n"
+       << "{ int64_t v = (int64_t)(a << (64 - nb)) >> (64 - nb);\n"
+       << "  return (uint64_t)(v >> (n > 63 ? 63 : (int)n)); }\n"
+       << "static inline uint64_t cmtl_sext(uint64_t a, int nb)\n"
+       << "{ return (uint64_t)((int64_t)(a << (64 - nb)) >> (64 - nb)); }\n"
+       << "\n";
+
+    for (size_t k = 0; k < groups.size(); ++k) {
+        os << "extern \"C\" void " << cppGroupSymbol(static_cast<int>(k))
+           << "(uint64_t *w)\n{\n";
+        for (int blk_idx : groups[k]) {
+            const ElabBlock &blk = elab.blocks[blk_idx];
+            os << "    { // " << blk.name << "\n";
+            std::ostringstream body;
+            BlockEmitter(blk, store, body).run(8);
+            os << body.str() << "    }\n";
+        }
+        os << "}\n\n";
+    }
+    return os.str();
+}
+
+} // namespace cmtl

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * C++ source emission from IR blocks (SimJIT code generation stage).
+ *
+ * Given an elaborated design, an arena layout, and a grouping of
+ * specialized block indices, emits a self-contained C++ translation
+ * unit with one `extern "C" void cmtl_grp_<k>(uint64_t *w)` entry
+ * point per group, each executing its blocks' logic directly on the
+ * ArenaStore word arena. This is the exact pipeline shape of PyMTL's
+ * SimJIT: generate C++ from the elaborated model instance, compile it
+ * to a shared library (see jit_cpp.h), and call it through a C ABI.
+ *
+ * The specializable subset matches the bytecode backend: all nets and
+ * intermediates must fit in 64 bits (checked via bcSpecializable).
+ */
+
+#ifndef CMTL_CORE_IR_CPP_H
+#define CMTL_CORE_IR_CPP_H
+
+#include <string>
+#include <vector>
+
+#include "model.h"
+#include "store.h"
+
+namespace cmtl {
+
+/**
+ * Emit the C++ source for the given groups of specialized blocks.
+ * Each inner vector lists ElabBlock indices fused into one entry
+ * point, executed in order.
+ */
+std::string cppEmitProgram(const Elaboration &elab, const ArenaStore &store,
+                           const std::vector<std::vector<int>> &groups);
+
+/** Symbol name of group @p k in the emitted source. */
+std::string cppGroupSymbol(int k);
+
+} // namespace cmtl
+
+#endif // CMTL_CORE_IR_CPP_H

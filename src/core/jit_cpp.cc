@@ -1,0 +1,159 @@
+#include "jit_cpp.h"
+
+#include <dlfcn.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+
+namespace cmtl {
+
+namespace {
+
+double
+seconds()
+{
+    using namespace std::chrono;
+    return duration<double>(steady_clock::now().time_since_epoch()).count();
+}
+
+bool
+fileExists(const std::string &path)
+{
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+}
+
+/** FNV-1a over the source text; good enough for a build cache key. */
+std::string
+sourceHash(const std::string &source)
+{
+    uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : source) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    std::ostringstream os;
+    os << std::hex << h;
+    return os.str();
+}
+
+int
+runCommand(const std::string &cmd)
+{
+    return std::system(cmd.c_str());
+}
+
+} // namespace
+
+CppJitLibrary::~CppJitLibrary()
+{
+    if (handle_)
+        ::dlclose(handle_);
+}
+
+CppJitLibrary::CppJitLibrary(CppJitLibrary &&other) noexcept
+    : handle_(other.handle_), groups_(std::move(other.groups_)),
+      cache_hit_(other.cache_hit_), compile_seconds_(other.compile_seconds_),
+      wrap_seconds_(other.wrap_seconds_)
+{
+    other.handle_ = nullptr;
+}
+
+CppJitLibrary &
+CppJitLibrary::operator=(CppJitLibrary &&other) noexcept
+{
+    if (this != &other) {
+        if (handle_)
+            ::dlclose(handle_);
+        handle_ = other.handle_;
+        groups_ = std::move(other.groups_);
+        cache_hit_ = other.cache_hit_;
+        compile_seconds_ = other.compile_seconds_;
+        wrap_seconds_ = other.wrap_seconds_;
+        other.handle_ = nullptr;
+    }
+    return *this;
+}
+
+CppJit::CppJit(std::string cache_dir, bool use_cache)
+    : cache_dir_(std::move(cache_dir)), use_cache_(use_cache)
+{
+    ::mkdir(cache_dir_.c_str(), 0755);
+}
+
+std::string
+CppJit::defaultCacheDir()
+{
+    if (const char *env = std::getenv("CMTL_JIT_CACHE"))
+        return env;
+    return "/tmp/cmtl-jit-" + std::to_string(::getuid());
+}
+
+bool
+CppJit::compilerAvailable()
+{
+    static int cached = -1;
+    if (cached < 0)
+        cached = runCommand("g++ --version > /dev/null 2>&1") == 0 ? 1 : 0;
+    return cached == 1;
+}
+
+CppJitLibrary
+CppJit::compile(const std::string &source, int ngroups)
+{
+    CppJitLibrary lib;
+    std::string hash = sourceHash(source);
+    std::string base = cache_dir_ + "/cmtl_" + hash;
+    std::string cc_path = base + ".cc";
+    std::string so_path = base + ".so";
+
+    double t0 = seconds();
+    if (use_cache_ && fileExists(so_path)) {
+        lib.cache_hit_ = true;
+    } else {
+        {
+            std::ofstream out(cc_path);
+            if (!out)
+                throw std::runtime_error("SimJIT: cannot write " + cc_path);
+            out << source;
+        }
+        std::string tmp_so = so_path + ".tmp." + std::to_string(::getpid());
+        // -O1, like the paper's verilator flow ("the relatively fast
+        // -O1 optimization level").
+        std::string cmd = "g++ -O1 -shared -fPIC -o " + tmp_so + " " +
+                          cc_path + " 2> " + base + ".log";
+        if (runCommand(cmd) != 0) {
+            throw std::runtime_error(
+                "SimJIT: compiler failed; see " + base + ".log");
+        }
+        // Atomic publish so concurrent processes share the cache safely.
+        if (::rename(tmp_so.c_str(), so_path.c_str()) != 0)
+            throw std::runtime_error("SimJIT: cannot publish " + so_path);
+    }
+    lib.compile_seconds_ = seconds() - t0;
+
+    double t1 = seconds();
+    lib.handle_ = ::dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+    if (!lib.handle_)
+        throw std::runtime_error(std::string("SimJIT: dlopen failed: ") +
+                                 ::dlerror());
+    for (int k = 0; k < ngroups; ++k) {
+        std::string sym = "cmtl_grp_" + std::to_string(k);
+        void *fn = ::dlsym(lib.handle_, sym.c_str());
+        if (!fn)
+            throw std::runtime_error("SimJIT: missing symbol " + sym);
+        lib.groups_.push_back(
+            reinterpret_cast<CppJitLibrary::GroupFn>(fn));
+    }
+    lib.wrap_seconds_ = seconds() - t1;
+    return lib;
+}
+
+} // namespace cmtl

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The SimJIT compile/wrap stage: turn emitted C++ into callable code.
+ *
+ * Mirrors PyMTL's SimJIT pipeline: the generated source is compiled
+ * with the system C++ compiler into a shared library, loaded with
+ * dlopen, and its entry points bound as function pointers. Compiled
+ * libraries are cached on disk keyed by a hash of the source text, the
+ * analog of SimJIT-RTL's translation cache: a warm cache converts the
+ * (dominant) compile overhead into a one-time cost.
+ */
+
+#ifndef CMTL_CORE_JIT_CPP_H
+#define CMTL_CORE_JIT_CPP_H
+
+#include <string>
+#include <vector>
+
+namespace cmtl {
+
+/** A loaded specialized library. Owns the dlopen handle. */
+class CppJitLibrary
+{
+  public:
+    using GroupFn = void (*)(uint64_t *);
+
+    CppJitLibrary() = default;
+    ~CppJitLibrary();
+    CppJitLibrary(CppJitLibrary &&other) noexcept;
+    CppJitLibrary &operator=(CppJitLibrary &&other) noexcept;
+    CppJitLibrary(const CppJitLibrary &) = delete;
+    CppJitLibrary &operator=(const CppJitLibrary &) = delete;
+
+    bool loaded() const { return handle_ != nullptr; }
+    GroupFn group(int k) const { return groups_.at(k); }
+    int numGroups() const { return static_cast<int>(groups_.size()); }
+
+    bool cacheHit() const { return cache_hit_; }
+    double compileSeconds() const { return compile_seconds_; }
+    double wrapSeconds() const { return wrap_seconds_; }
+
+  private:
+    friend class CppJit;
+    void *handle_ = nullptr;
+    std::vector<GroupFn> groups_;
+    bool cache_hit_ = false;
+    double compile_seconds_ = 0.0;
+    double wrap_seconds_ = 0.0;
+};
+
+/** Compiles and loads emitted specializer source. */
+class CppJit
+{
+  public:
+    /**
+     * @param cache_dir directory for generated sources and cached .so
+     *                  files; created if missing
+     * @param use_cache reuse a previously compiled library when the
+     *                  source hash matches
+     */
+    explicit CppJit(std::string cache_dir = defaultCacheDir(),
+                    bool use_cache = true);
+
+    /** True if a working C++ compiler is available on this host. */
+    static bool compilerAvailable();
+
+    /** Directory honouring $CMTL_JIT_CACHE, else /tmp/cmtl-jit-<uid>. */
+    static std::string defaultCacheDir();
+
+    /**
+     * Compile @p source (with @p ngroups cmtl_grp_<k> entry points)
+     * and bind the group symbols. Throws std::runtime_error on
+     * compiler failure.
+     */
+    CppJitLibrary compile(const std::string &source, int ngroups);
+
+  private:
+    std::string cache_dir_;
+    bool use_cache_;
+};
+
+} // namespace cmtl
+
+#endif // CMTL_CORE_JIT_CPP_H

@@ -1,0 +1,99 @@
+#include "lint.h"
+
+#include <sstream>
+
+namespace cmtl {
+
+std::vector<LintIssue>
+LintTool::run(const Elaboration &elab)
+{
+    std::vector<LintIssue> issues;
+    const size_t nnets = elab.nets.size();
+    std::vector<int> comb_writers(nnets, 0);
+    std::vector<int> seq_writers(nnets, 0);
+    std::vector<int> readers(nnets, 0);
+    std::vector<int> array_writers(elab.arrays.size(), 0);
+
+    for (const ElabBlock &blk : elab.blocks) {
+        for (int net : blk.writes) {
+            if (net >= static_cast<int>(nnets)) {
+                ++array_writers[net - nnets];
+                continue;
+            }
+            if (isTick(blk.kind))
+                ++seq_writers[net];
+            else
+                ++comb_writers[net];
+        }
+        for (int net : blk.reads) {
+            if (net < static_cast<int>(nnets))
+                ++readers[net];
+        }
+    }
+
+    for (size_t i = 0; i < elab.arrays.size(); ++i) {
+        if (array_writers[i] > 1) {
+            issues.push_back(
+                {LintSeverity::Error, "multiple-array-writers",
+                 "array '" + elab.arrays[i]->fullName() +
+                     "' is written by " +
+                     std::to_string(array_writers[i]) +
+                     " blocks; write ordering would be undefined"});
+        }
+    }
+
+    for (const Net &net : elab.nets) {
+        int cw = comb_writers[net.id];
+        int sw = seq_writers[net.id];
+        if (cw + sw > 1) {
+            issues.push_back(
+                {LintSeverity::Error, "multiple-drivers",
+                 "net '" + net.name + "' is written by " +
+                     std::to_string(cw) + " combinational and " +
+                     std::to_string(sw) + " sequential block(s)"});
+        }
+
+        bool has_top_input = false;
+        bool has_top_output = false;
+        for (const Signal *sig : net.signals) {
+            if (sig->owner() == elab.top) {
+                if (sig->dir() == SignalDir::Input)
+                    has_top_input = true;
+                if (sig->dir() == SignalDir::Output)
+                    has_top_output = true;
+            }
+        }
+        if (readers[net.id] > 0 && cw + sw == 0 && !has_top_input) {
+            issues.push_back({LintSeverity::Warning, "undriven-net",
+                              "net '" + net.name +
+                                  "' is read but never written and has "
+                                  "no top-level input"});
+        }
+        if (readers[net.id] == 0 && cw + sw > 0 && !has_top_output) {
+            issues.push_back({LintSeverity::Warning, "unread-net",
+                              "net '" + net.name +
+                                  "' is written but never read"});
+        }
+    }
+
+    if (elab.hasCombCycle) {
+        issues.push_back({LintSeverity::Error, "comb-cycle",
+                          "combinational blocks form a dependency "
+                          "cycle; only event-driven simulation is "
+                          "possible"});
+    }
+    return issues;
+}
+
+std::string
+LintTool::format(const std::vector<LintIssue> &issues)
+{
+    std::ostringstream os;
+    for (const LintIssue &issue : issues) {
+        os << (issue.severity == LintSeverity::Error ? "error" : "warning")
+           << " [" << issue.check << "] " << issue.message << "\n";
+    }
+    return os.str();
+}
+
+} // namespace cmtl

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Lint tool: static design checks over an elaborated model instance.
+ *
+ * An example of the model/tool split: the linter walks the same
+ * Elaboration the simulator and translator consume and reports
+ * structural problems before any simulation runs.
+ */
+
+#ifndef CMTL_CORE_LINT_H
+#define CMTL_CORE_LINT_H
+
+#include <string>
+#include <vector>
+
+#include "model.h"
+
+namespace cmtl {
+
+/** Severity of a lint finding. */
+enum class LintSeverity { Warning, Error };
+
+/** One lint finding. */
+struct LintIssue
+{
+    LintSeverity severity;
+    std::string check; //!< short check id, e.g. "multiple-drivers"
+    std::string message;
+};
+
+/** Runs structural checks over an elaborated design. */
+class LintTool
+{
+  public:
+    /**
+     * Checks performed:
+     *  - multiple-drivers: a net written by more than one
+     *    combinational block, or by both combinational and
+     *    sequential blocks (error);
+     *  - comb-cycle: combinational blocks form a dependency cycle
+     *    (error);
+     *  - undriven-net: a net that is read by some block but written
+     *    by none and contains no top-level input port (warning — test
+     *    benches may drive it);
+     *  - unread-net: a net that is written but never read and
+     *    contains no top-level output port (warning).
+     */
+    std::vector<LintIssue> run(const Elaboration &elab);
+
+    /** Render issues in a compact single-line-per-issue format. */
+    static std::string format(const std::vector<LintIssue> &issues);
+};
+
+} // namespace cmtl
+
+#endif // CMTL_CORE_LINT_H

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Signals: ports and wires of a CMTL model.
+ *
+ * A Signal is declared as a value member of a Model (or inside a
+ * std::deque for port lists) and registers itself with its owning model
+ * on construction. After elaboration every signal belongs to a *net*
+ * (an equivalence class of structurally connected signals) identified
+ * by a dense net id; after a simulator is constructed, reads and writes
+ * on the signal are routed through the simulator's SignalAccess
+ * backend, which differs per execution mode (boxed dictionary storage
+ * for the CPython-analog interpreter, dense arena slots otherwise).
+ */
+
+#ifndef CMTL_CORE_SIGNAL_H
+#define CMTL_CORE_SIGNAL_H
+
+#include <string>
+
+#include "bits.h"
+
+namespace cmtl {
+
+class Model;
+class Signal;
+
+/** Direction of a signal relative to its owning model. */
+enum class SignalDir { Input, Output, Wire };
+
+/**
+ * Simulator-provided backend for signal reads and writes.
+ *
+ * Test benches and FL/CL lambda blocks access signals through this
+ * interface; the concrete implementation determines the cost model
+ * (hash-lookup boxed values vs. direct arena slots).
+ */
+class SignalAccess
+{
+  public:
+    virtual ~SignalAccess() = default;
+
+    /** Current (combinationally settled) value. */
+    virtual Bits read(const Signal &sig) const = 0;
+    /** Blocking write: visible immediately (combinational update). */
+    virtual void write(Signal &sig, const Bits &value) = 0;
+    /** Non-blocking write: visible after the next clock edge. */
+    virtual void writeNext(Signal &sig, const Bits &value) = 0;
+};
+
+/**
+ * A named, fixed-width signal owned by a model.
+ *
+ * Signals are neither copyable nor movable: their address identifies
+ * them in connection records and IR references.
+ */
+class Signal
+{
+  public:
+    Signal(Model *owner, std::string name, int nbits, SignalDir dir);
+    Signal(const Signal &) = delete;
+    Signal &operator=(const Signal &) = delete;
+
+    Model *owner() const { return owner_; }
+    const std::string &name() const { return name_; }
+    int nbits() const { return nbits_; }
+    SignalDir dir() const { return dir_; }
+
+    /** Hierarchical name, e.g. "top.router0.in_0.msg". */
+    std::string fullName() const;
+
+    /** Dense net id; valid after elaboration (-1 before). */
+    int netId() const { return net_id_; }
+
+    // --- Run-time access (valid once a simulator is attached) ------
+
+    /** Current value. */
+    Bits value() const;
+    /** Current value as uint64 (low word). */
+    uint64_t u64() const { return value().toUint64(); }
+    /** Blocking write (".value =" in PyMTL). */
+    void setValue(const Bits &v);
+    void setValue(uint64_t v);
+    /** Non-blocking write (".next =" in PyMTL). */
+    void setNext(const Bits &v);
+    void setNext(uint64_t v);
+
+    // --- Elaboration/simulator hooks (framework internal) ----------
+    void setNetId(int id) { net_id_ = id; }
+    void setAccess(SignalAccess *access) { access_ = access; }
+    SignalAccess *access() const { return access_; }
+
+  private:
+    Model *owner_;
+    std::string name_;
+    int nbits_;
+    SignalDir dir_;
+    int net_id_ = -1;
+    SignalAccess *access_ = nullptr;
+};
+
+/** An input port. */
+class InPort : public Signal
+{
+  public:
+    InPort(Model *owner, std::string name, int nbits)
+        : Signal(owner, std::move(name), nbits, SignalDir::Input)
+    {}
+};
+
+/** An output port. */
+class OutPort : public Signal
+{
+  public:
+    OutPort(Model *owner, std::string name, int nbits)
+        : Signal(owner, std::move(name), nbits, SignalDir::Output)
+    {}
+};
+
+/** An internal wire. */
+class Wire : public Signal
+{
+  public:
+    Wire(Model *owner, std::string name, int nbits)
+        : Signal(owner, std::move(name), nbits, SignalDir::Wire)
+    {}
+};
+
+} // namespace cmtl
+
+#endif // CMTL_CORE_SIGNAL_H

@@ -1,0 +1,606 @@
+#include "sim.h"
+
+#include <stdexcept>
+
+#include "ir_cpp.h"
+#include "timing.h"
+
+namespace cmtl {
+
+SimulationTool::SimulationTool(std::shared_ptr<Elaboration> elab,
+                               SimConfig cfg)
+    : elab_(std::move(elab)), cfg_(cfg)
+{
+    Stopwatch sw;
+
+    event_driven_ =
+        cfg_.sched == SchedMode::Event ||
+        (cfg_.sched == SchedMode::Auto && cfg_.exec == ExecMode::Interp);
+    if (!event_driven_ && elab_->hasCombCycle) {
+        throw std::logic_error(
+            "design has a combinational cycle; static scheduling is "
+            "impossible (use SchedMode::Event)");
+    }
+
+    if (useBoxed())
+        boxed_ = std::make_unique<BoxedStore>(*elab_);
+    if (!useBoxed() || cfg_.spec != SpecMode::None)
+        arena_ = std::make_unique<ArenaStore>(*elab_);
+    if (boxed_)
+        boxed_eval_ = std::make_unique<BoxedEvaluator>(*boxed_);
+    if (arena_)
+        slot_eval_ = std::make_unique<SlotEvaluator>(*arena_);
+
+    for (Signal *sig : elab_->signals)
+        sig->setAccess(this);
+
+    const size_t nnets = elab_->nets.size();
+    is_flopped_.assign(nnets, 0);
+    for (const Net &net : elab_->nets) {
+        if (net.floppedStatic)
+            markFlopped(net.id);
+    }
+
+    // Arrays written by tick blocks re-trigger their readers each
+    // cycle under event-driven scheduling.
+    for (const ElabBlock &blk : elab_->blocks) {
+        if (!isTick(blk.kind))
+            continue;
+        for (int token : blk.writes) {
+            if (token >= static_cast<int>(nnets))
+                tick_array_tokens_.push_back(token);
+        }
+    }
+
+    buildSchedule();
+    double create_before_spec = sw.elapsed();
+    if (cfg_.spec != SpecMode::None)
+        specialize();
+
+    in_worklist_.assign(comb_steps_.size(), 0);
+    if (eventDriven()) {
+        // Seed the worklist with every combinational step.
+        for (size_t i = 0; i < comb_steps_.size(); ++i) {
+            worklist_.push_back(static_cast<int>(i));
+            in_worklist_[i] = 1;
+        }
+    }
+
+    spec_stats_.simCreateSeconds =
+        create_before_spec +
+        (sw.elapsed() - create_before_spec - spec_stats_.codegenSeconds -
+         spec_stats_.compileSeconds - spec_stats_.wrapSeconds);
+}
+
+SimulationTool::~SimulationTool()
+{
+    for (Signal *sig : elab_->signals) {
+        if (sig->access() == this)
+            sig->setAccess(nullptr);
+    }
+}
+
+void
+SimulationTool::buildSchedule()
+{
+    const auto &blocks = elab_->blocks;
+    spec_stats_.numBlocks = static_cast<int>(blocks.size());
+    comb_step_of_block_.assign(blocks.size(), -1);
+
+    auto makeStep = [&](int idx) {
+        const ElabBlock &blk = blocks[idx];
+        Step step;
+        step.block = idx;
+        step.reads = &blk.reads;
+        step.writes = &blk.writes;
+        step.sequential = isTick(blk.kind);
+        switch (blk.kind) {
+          case BlockKind::TickFl:
+          case BlockKind::TickCl:
+          case BlockKind::CombLambda:
+            step.kind = Step::Kind::Lambda;
+            break;
+          case BlockKind::TickIr:
+          case BlockKind::CombIr:
+            step.kind = useBoxed() ? Step::Kind::BoxedIr
+                                   : Step::Kind::SlotIr;
+            break;
+        }
+        return step;
+    };
+
+    // Combinational steps in topological order when available.
+    std::vector<int> comb_order = elab_->combOrder;
+    if (elab_->hasCombCycle) {
+        comb_order.clear();
+        for (size_t i = 0; i < blocks.size(); ++i) {
+            if (!isTick(blocks[i].kind))
+                comb_order.push_back(static_cast<int>(i));
+        }
+    }
+    for (int idx : comb_order) {
+        comb_step_of_block_[idx] = static_cast<int>(comb_steps_.size());
+        comb_steps_.push_back(makeStep(idx));
+    }
+    for (int idx : elab_->tickOrder)
+        tick_steps_.push_back(makeStep(idx));
+}
+
+void
+SimulationTool::specialize()
+{
+    Stopwatch sw;
+    const auto &blocks = elab_->blocks;
+    std::vector<char> can(blocks.size(), 0);
+    for (size_t i = 0; i < blocks.size(); ++i) {
+        if (blocks[i].ir && bcSpecializable(blocks[i], *arena_)) {
+            can[i] = 1;
+            ++spec_stats_.numSpecialized;
+        }
+    }
+
+    // Hybrid storage ownership: a token is arena-owned when it has a
+    // writer, every writer is specialized, and no unspecialized IR
+    // block touches it (lambda blocks and test benches access signals
+    // through SignalAccess, which dispatches on ownership; boxed IR
+    // evaluation does not).
+    if (useBoxed()) {
+        const size_t ntokens = elab_->nets.size() + elab_->arrays.size();
+        std::vector<char> has_writer(ntokens, 0);
+        std::vector<char> unspec_writer(ntokens, 0);
+        std::vector<char> unspec_ir(ntokens, 0);
+        for (size_t i = 0; i < blocks.size(); ++i) {
+            for (int tok : blocks[i].writes) {
+                has_writer[tok] = 1;
+                if (!can[i])
+                    unspec_writer[tok] = 1;
+            }
+            if (blocks[i].ir && !can[i]) {
+                for (int tok : blocks[i].reads)
+                    unspec_ir[tok] = 1;
+                for (int tok : blocks[i].writes)
+                    unspec_ir[tok] = 1;
+            }
+        }
+        token_in_arena_.assign(ntokens, 0);
+        for (size_t tok = 0; tok < ntokens; ++tok) {
+            token_in_arena_[tok] = has_writer[tok] &&
+                                   !unspec_writer[tok] &&
+                                   !unspec_ir[tok];
+        }
+    }
+
+    // Fuse contiguous runs of specializable blocks into groups, the
+    // way SimJIT translates a whole component subtree into one
+    // compiled unit: one entry point, one marshal boundary. Fusing
+    // combinational blocks is legal because the comb schedule is a
+    // fixed topological order and running a comb block with unchanged
+    // inputs is idempotent; under event-driven scheduling the fused
+    // group simply becomes the scheduling unit.
+    std::vector<std::vector<int>> groups;
+    auto groupSteps = [&](std::vector<Step> &steps) {
+        std::vector<Step> out;
+        size_t i = 0;
+        while (i < steps.size()) {
+            if (!can[steps[i].block]) {
+                out.push_back(steps[i]);
+                ++i;
+                continue;
+            }
+            std::vector<int> group;
+            std::vector<int> reads, writes;
+            size_t j = i;
+            while (j < steps.size() && can[steps[j].block] &&
+                   steps[j].sequential == steps[i].sequential) {
+                group.push_back(steps[j].block);
+                const ElabBlock &blk = blocks[steps[j].block];
+                reads.insert(reads.end(), blk.reads.begin(),
+                             blk.reads.end());
+                writes.insert(writes.end(), blk.writes.begin(),
+                              blk.writes.end());
+                ++j;
+            }
+            std::sort(reads.begin(), reads.end());
+            reads.erase(std::unique(reads.begin(), reads.end()),
+                        reads.end());
+            std::sort(writes.begin(), writes.end());
+            writes.erase(std::unique(writes.begin(), writes.end()),
+                         writes.end());
+
+            Step step;
+            step.kind = cfg_.spec == SpecMode::Cpp
+                            ? Step::Kind::Native
+                            : Step::Kind::Bytecode;
+            step.block = steps[i].block;
+            step.group = static_cast<int>(groups.size());
+            step.sequential = steps[i].sequential;
+            groups.push_back(std::move(group));
+            group_reads_.push_back(std::move(reads));
+            group_writes_.push_back(std::move(writes));
+            step.reads = &group_reads_.back();
+            step.writes = &group_writes_.back();
+            out.push_back(step);
+            i = j;
+        }
+        steps = std::move(out);
+    };
+    groupSteps(comb_steps_);
+    groupSteps(tick_steps_);
+
+    // group_reads_/group_writes_ grew by push_back; re-point the steps
+    // now that the vectors' addresses are final.
+    {
+        auto repoint = [&](std::vector<Step> &steps) {
+            for (Step &step : steps) {
+                if (step.group >= 0) {
+                    step.reads = &group_reads_[step.group];
+                    step.writes = &group_writes_[step.group];
+                }
+            }
+        };
+        repoint(comb_steps_);
+        repoint(tick_steps_);
+    }
+
+    // Rebuild the block -> comb step map after fusion: every member
+    // block of a fused group maps to the group's step.
+    comb_step_of_block_.assign(blocks.size(), -1);
+    for (size_t i = 0; i < comb_steps_.size(); ++i) {
+        const Step &step = comb_steps_[i];
+        if (step.group >= 0) {
+            for (int blk : groups[step.group]) {
+                if (!isTick(blocks[blk].kind))
+                    comb_step_of_block_[blk] = static_cast<int>(i);
+            }
+        } else {
+            comb_step_of_block_[step.block] = static_cast<int>(i);
+        }
+    }
+
+    spec_stats_.numGroups = static_cast<int>(groups.size());
+
+    if (cfg_.spec == SpecMode::Bytecode) {
+        bc_programs_.resize(blocks.size());
+        int max_scratch = 0;
+        group_bc_.resize(groups.size());
+        for (size_t g = 0; g < groups.size(); ++g) {
+            for (int blk : groups[g]) {
+                bc_programs_[blk] = bcCompile(blocks[blk], *arena_);
+                max_scratch =
+                    std::max(max_scratch, bc_programs_[blk].nscratch);
+                group_bc_[g].push_back(&bc_programs_[blk]);
+            }
+        }
+        bc_scratch_.assign(static_cast<size_t>(max_scratch) + 1, 0);
+        spec_stats_.codegenSeconds = sw.elapsed();
+        return;
+    }
+
+    std::string source = cppEmitProgram(*elab_, *arena_, groups);
+    spec_stats_.codegenSeconds = sw.elapsed();
+
+    CppJit jit(cfg_.jit_cache_dir.empty() ? CppJit::defaultCacheDir()
+                                          : cfg_.jit_cache_dir,
+               cfg_.jit_cache);
+    cpp_lib_ = jit.compile(source, static_cast<int>(groups.size()));
+    spec_stats_.compileSeconds = cpp_lib_.compileSeconds();
+    spec_stats_.wrapSeconds = cpp_lib_.wrapSeconds();
+    spec_stats_.cacheHit = cpp_lib_.cacheHit();
+}
+
+void
+SimulationTool::markFlopped(int net)
+{
+    if (!is_flopped_[net]) {
+        is_flopped_[net] = 1;
+        flopped_nets_.push_back(net);
+    }
+}
+
+void
+SimulationTool::enqueueReaders(int net)
+{
+    for (int blk : elab_->netReaders[net]) {
+        int step = comb_step_of_block_[blk];
+        if (step >= 0 && !in_worklist_[step]) {
+            in_worklist_[step] = 1;
+            worklist_.push_back(step);
+        }
+    }
+}
+
+bool
+SimulationTool::isArrayToken(int token) const
+{
+    return token >= static_cast<int>(elab_->nets.size());
+}
+
+void
+SimulationTool::copyArrayToArena(int token)
+{
+    int id = token - static_cast<int>(elab_->nets.size());
+    const MemArray *array = elab_->arrays[id];
+    for (int i = 0; i < array->depth(); ++i)
+        arena_->arrayWrite(id, i, boxed_->arrayRead(id, i));
+}
+
+void
+SimulationTool::copyArrayToBoxed(int token)
+{
+    int id = token - static_cast<int>(elab_->nets.size());
+    const MemArray *array = elab_->arrays[id];
+    for (int i = 0; i < array->depth(); ++i)
+        boxed_->arrayWrite(id, i, arena_->arrayRead(id, i));
+}
+
+void
+SimulationTool::syncIn(const Step &step)
+{
+    // Marshal boundary state into the arena before a specialized
+    // group runs (the Python -> C++ call boundary). Arena-owned
+    // tokens never cross: the compiled component keeps them.
+    for (int net : *step.reads) {
+        if (tokenInArena(net))
+            continue;
+        if (isArrayToken(net))
+            copyArrayToArena(net);
+        else
+            arena_->write(net, boxed_->read(net));
+    }
+    for (int net : *step.writes) {
+        if (tokenInArena(net))
+            continue;
+        if (isArrayToken(net)) {
+            copyArrayToArena(net);
+        } else if (step.sequential) {
+            arena_->writeNext(net, boxed_->readNext(net));
+        } else {
+            arena_->write(net, boxed_->read(net));
+        }
+    }
+}
+
+void
+SimulationTool::syncOut(const Step &step, std::vector<int> *changed)
+{
+    // Marshal boundary results back (the C++ -> Python return
+    // boundary); arena-owned writes stay put (their change detection
+    // runs against the pre-run snapshot, see diffWrites).
+    for (int net : *step.writes) {
+        if (tokenInArena(net))
+            continue;
+        if (isArrayToken(net)) {
+            copyArrayToBoxed(net);
+        } else if (step.sequential) {
+            boxed_->writeNext(net, arena_->readNext(net));
+        } else {
+            if (boxed_->write(net, arena_->read(net)) && changed)
+                changed->push_back(net);
+        }
+    }
+}
+
+void
+SimulationTool::snapshotWrites(const Step &step)
+{
+    write_snapshot_.clear();
+    for (int net : *step.writes) {
+        if (!tokenInArena(net) || isArrayToken(net))
+            continue;
+        const uint64_t *words = arena_->data() + arena_->offset(net);
+        for (int w = 0; w < arena_->nwords(net); ++w)
+            write_snapshot_.push_back(words[w]);
+    }
+}
+
+void
+SimulationTool::diffWrites(const Step &step, std::vector<int> *changed)
+{
+    size_t at = 0;
+    for (int net : *step.writes) {
+        if (!tokenInArena(net) || isArrayToken(net))
+            continue;
+        const uint64_t *words = arena_->data() + arena_->offset(net);
+        bool differs = false;
+        for (int w = 0; w < arena_->nwords(net); ++w)
+            differs |= words[w] != write_snapshot_[at++];
+        if (differs)
+            changed->push_back(net);
+    }
+}
+
+void
+SimulationTool::runStep(const Step &step, std::vector<int> *changed)
+{
+    const bool hybrid = useBoxed() && arena_ != nullptr;
+    switch (step.kind) {
+      case Step::Kind::Lambda:
+        // Writes route through the SignalAccess interface, which
+        // performs change detection and reader scheduling itself.
+        elab_->blocks[step.block].fn();
+        break;
+      case Step::Kind::BoxedIr:
+        boxed_eval_->run(elab_->blocks[step.block], changed);
+        break;
+      case Step::Kind::SlotIr:
+        slot_eval_->run(elab_->blocks[step.block], changed);
+        break;
+      case Step::Kind::Bytecode:
+      case Step::Kind::Native: {
+        if (hybrid)
+            syncIn(step);
+        bool track = changed && !step.sequential;
+        if (track)
+            snapshotWrites(step);
+        if (step.kind == Step::Kind::Native) {
+            cpp_lib_.group(step.group)(arena_->data());
+        } else {
+            for (const BcProgram *bc : group_bc_[step.group])
+                bcRun(*bc, arena_->data(), bc_scratch_.data());
+        }
+        if (track)
+            diffWrites(step, changed);
+        if (hybrid)
+            syncOut(step, changed);
+        break;
+      }
+    }
+}
+
+void
+SimulationTool::settle()
+{
+    if (eventDriven()) {
+        std::vector<int> changed;
+        size_t head = 0;
+        size_t iterations = 0;
+        const size_t limit = (elab_->blocks.size() + 1) * 10000;
+        while (head < worklist_.size()) {
+            int step = worklist_[head++];
+            in_worklist_[step] = 0;
+            changed.clear();
+            runStep(comb_steps_[step], &changed);
+            for (int net : changed)
+                enqueueReaders(net);
+            if (++iterations > limit) {
+                throw std::runtime_error(
+                    "combinational logic failed to converge "
+                    "(oscillating cycle?)");
+            }
+        }
+        worklist_.clear();
+    } else {
+        for (const Step &step : comb_steps_)
+            runStep(step, nullptr);
+    }
+    dirty_ = false;
+}
+
+void
+SimulationTool::cycle()
+{
+    if (eventDriven() || dirty_)
+        settle();
+    for (const Step &step : tick_steps_)
+        runStep(step, nullptr);
+    std::vector<int> changed;
+    doFlop(eventDriven() ? &changed : nullptr);
+    if (eventDriven()) {
+        for (int token : tick_array_tokens_)
+            enqueueReaders(token);
+    }
+    settle();
+    ++ncycles_;
+    for (const auto &hook : cycle_hooks_)
+        hook(ncycles_);
+}
+
+void
+SimulationTool::cycle(uint64_t n)
+{
+    for (uint64_t i = 0; i < n; ++i)
+        cycle();
+}
+
+void
+SimulationTool::eval()
+{
+    settle();
+}
+
+void
+SimulationTool::doFlop(std::vector<int> *changed)
+{
+    for (int net : flopped_nets_) {
+        bool ch = tokenInArena(net) ? arena_->flop(net)
+                                    : boxed_->flop(net);
+        if (ch && changed) {
+            enqueueReaders(net);
+        }
+    }
+}
+
+void
+SimulationTool::reset(int ncycles)
+{
+    elab_->top->reset.setValue(uint64_t(1));
+    cycle(static_cast<uint64_t>(ncycles));
+    elab_->top->reset.setValue(uint64_t(0));
+}
+
+Bits
+SimulationTool::readNet(int net) const
+{
+    return tokenInArena(net) ? arena_->read(net) : boxed_->read(net);
+}
+
+Bits
+SimulationTool::readArray(const MemArray &array, uint64_t index) const
+{
+    int id = array.arrayId();
+    return tokenInArena(elab_->arrayToken(id))
+               ? arena_->arrayRead(id, index)
+               : boxed_->arrayRead(id, index);
+}
+
+void
+SimulationTool::writeArray(MemArray &array, uint64_t index,
+                           const Bits &value)
+{
+    int id = array.arrayId();
+    if (tokenInArena(elab_->arrayToken(id)))
+        arena_->arrayWrite(id, index, value);
+    else
+        boxed_->arrayWrite(id, index, value);
+    dirty_ = true;
+    if (eventDriven())
+        enqueueReaders(elab_->arrayToken(id));
+}
+
+Bits
+SimulationTool::read(const Signal &sig) const
+{
+    int net = sig.netId();
+    return tokenInArena(net) ? arena_->read(net) : boxed_->read(net);
+}
+
+void
+SimulationTool::write(Signal &sig, const Bits &value)
+{
+    int net = sig.netId();
+    bool ch = tokenInArena(net) ? arena_->write(net, value)
+                                : boxed_->write(net, value);
+    if (ch) {
+        dirty_ = true;
+        if (eventDriven())
+            enqueueReaders(net);
+    }
+}
+
+void
+SimulationTool::writeNext(Signal &sig, const Bits &value)
+{
+    int net = sig.netId();
+    markFlopped(net);
+    if (tokenInArena(net))
+        arena_->writeNext(net, value);
+    else
+        boxed_->writeNext(net, value);
+}
+
+std::string
+SimulationTool::lineTrace() const
+{
+    std::string out;
+    for (const Model *m : elab_->models) {
+        std::string part = m->lineTrace();
+        if (part.empty())
+            continue;
+        if (!out.empty())
+            out += " | ";
+        out += part;
+    }
+    return out;
+}
+
+} // namespace cmtl

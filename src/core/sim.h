@@ -1,0 +1,224 @@
+/**
+ * @file
+ * SimulationTool: the CMTL simulator generator.
+ *
+ * Consumes an Elaboration and builds a simulator for it. The execution
+ * strategy reproduces the performance axes studied in the PyMTL paper:
+ *
+ *   ExecMode::Interp    "CPython"  boxed dictionary storage, dynamic
+ *                                  event-driven scheduling, tree-walk
+ *                                  IR evaluation over boxed values
+ *   ExecMode::OptInterp "PyPy"     dense arena storage, slot-bound
+ *                                  accessors, statically levelized
+ *                                  scheduling, by-value tree-walk IR
+ *
+ *   SpecMode::None                 no specialization
+ *   SpecMode::Bytecode  "SimJIT"   IR blocks compiled to a flat
+ *                                  register-machine bytecode over the
+ *                                  arena at simulator construction
+ *   SpecMode::Cpp       "SimJIT"   IR blocks translated to C++,
+ *                                  compiled with the system compiler,
+ *                                  dlopen'ed and called natively
+ *
+ * Combining SpecMode != None with ExecMode::Interp reproduces the
+ * paper's "SimJIT under CPython" configuration: specialized blocks run
+ * on the arena, but every entry/exit crosses a boxed<->arena marshal
+ * boundary (the CFFI wrapper overhead); unspecialized lambda blocks
+ * stay fully boxed. With ExecMode::OptInterp the arena is shared and
+ * boundary crossings vanish (the "SimJIT+PyPy" configuration).
+ *
+ * Cycle semantics (two-phase): cycle() settles combinational logic,
+ * runs all tick blocks (which read current values and write next
+ * values), flops next->current for registered nets, then settles
+ * again. Blocking writes from test benches are visible after the next
+ * settle/cycle/eval call.
+ */
+
+#ifndef CMTL_CORE_SIM_H
+#define CMTL_CORE_SIM_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir_bytecode.h"
+#include "ir_eval.h"
+#include "jit_cpp.h"
+#include "model.h"
+#include "store.h"
+
+namespace cmtl {
+
+/** Host-execution strategy (the CPython/PyPy axis). */
+enum class ExecMode { Interp, OptInterp };
+
+/** Specialization strategy (the SimJIT axis). */
+enum class SpecMode { None, Bytecode, Cpp };
+
+/** Combinational scheduling policy. */
+enum class SchedMode
+{
+    Auto,   //!< event-driven under Interp, static under OptInterp
+    Event,  //!< dynamic event-driven with sensitivity lists
+    Static, //!< statically levelized (rejects combinational cycles)
+};
+
+/** Simulator configuration. */
+struct SimConfig
+{
+    ExecMode exec = ExecMode::OptInterp;
+    SpecMode spec = SpecMode::None;
+    SchedMode sched = SchedMode::Auto;
+    std::string jit_cache_dir; //!< empty = CppJit::defaultCacheDir()
+    bool jit_cache = true;     //!< reuse compiled libraries on disk
+};
+
+/** Construction-time specializer overheads (paper Figure 16). */
+struct SpecStats
+{
+    double codegenSeconds = 0.0;   //!< IR -> bytecode or C++ source
+    double compileSeconds = 0.0;   //!< external compiler
+    double wrapSeconds = 0.0;      //!< dlopen + symbol binding
+    double simCreateSeconds = 0.0; //!< kernel datastructure setup
+    bool cacheHit = false;
+    int numBlocks = 0;
+    int numSpecialized = 0;
+    int numGroups = 0;
+};
+
+/**
+ * A simulator for an elaborated design.
+ *
+ * The tool doubles as the SignalAccess backend, so test benches and
+ * lambda blocks transparently read and write through the active
+ * storage strategy. One simulator may be live per elaboration at a
+ * time.
+ */
+class SimulationTool : public SignalAccess
+{
+  public:
+    explicit SimulationTool(std::shared_ptr<Elaboration> elab,
+                            SimConfig cfg = SimConfig{});
+    ~SimulationTool() override;
+
+    /** Advance one clock cycle. */
+    void cycle();
+    /** Advance @p n clock cycles. */
+    void cycle(uint64_t n);
+    /** Propagate combinational logic only (no clock edge). */
+    void eval();
+    /** Assert the implicit reset for @p ncycles cycles. */
+    void reset(int ncycles = 1);
+
+    uint64_t numCycles() const { return ncycles_; }
+    const SpecStats &specStats() const { return spec_stats_; }
+    const Elaboration &elaboration() const { return *elab_; }
+    const SimConfig &config() const { return cfg_; }
+
+    /** Concatenated lineTrace() of every model, pre-order. */
+    std::string lineTrace() const;
+
+    /** Hook invoked after every cycle (VCD dumping etc.). */
+    void
+    onCycleEnd(std::function<void(uint64_t)> hook)
+    {
+        cycle_hooks_.push_back(std::move(hook));
+    }
+
+    /** Direct net-level value access for tools (VCD, testing). */
+    Bits readNet(int net) const;
+
+    /** Host access to a memory array element. */
+    Bits readArray(const MemArray &array, uint64_t index) const;
+    void writeArray(MemArray &array, uint64_t index, const Bits &value);
+
+    // --- SignalAccess ----------------------------------------------
+    Bits read(const Signal &sig) const override;
+    void write(Signal &sig, const Bits &value) override;
+    void writeNext(Signal &sig, const Bits &value) override;
+
+  private:
+    struct Step
+    {
+        enum class Kind { Lambda, BoxedIr, SlotIr, Bytecode, Native };
+        Kind kind;
+        int block = -1; //!< ElabBlock index (Lambda/Ir)
+        int group = -1; //!< specialization group index
+        /** Nets to marshal for hybrid boxed+specialized execution. */
+        const std::vector<int> *reads = nullptr;
+        const std::vector<int> *writes = nullptr;
+        bool sequential = false;
+    };
+
+    bool useBoxed() const { return cfg_.exec == ExecMode::Interp; }
+    bool eventDriven() const { return event_driven_; }
+
+    void buildSchedule();
+    void specialize();
+    void runStep(const Step &step, std::vector<int> *changed);
+    void syncIn(const Step &step);
+    void syncOut(const Step &step, std::vector<int> *changed);
+    void snapshotWrites(const Step &step);
+    void diffWrites(const Step &step, std::vector<int> *changed);
+    bool isArrayToken(int token) const;
+    void copyArrayToArena(int token);
+    void copyArrayToBoxed(int token);
+    /**
+     * Hybrid (boxed exec + specialization) storage dispatch: tokens
+     * whose every writer is specialized live permanently in the
+     * arena — the state a SimJIT-compiled component owns internally —
+     * and only boundary tokens are marshalled at group entry/exit.
+     */
+    bool tokenInArena(int token) const
+    {
+        return !useBoxed() ||
+               (token < static_cast<int>(token_in_arena_.size()) &&
+                token_in_arena_[token]);
+    }
+    void settle();
+    void settleEvent(std::vector<int> &seed);
+    void enqueueReaders(int net);
+    void markFlopped(int net);
+    void doFlop(std::vector<int> *changed);
+
+    std::shared_ptr<Elaboration> elab_;
+    SimConfig cfg_;
+    SpecStats spec_stats_;
+
+    std::unique_ptr<BoxedStore> boxed_;
+    std::unique_ptr<ArenaStore> arena_;
+    std::unique_ptr<BoxedEvaluator> boxed_eval_;
+    std::unique_ptr<SlotEvaluator> slot_eval_;
+
+    bool event_driven_ = false;
+    std::vector<Step> comb_steps_; //!< static order (or event pool)
+    std::vector<Step> tick_steps_;
+    std::vector<int> comb_step_of_block_; //!< block idx -> comb step idx
+
+    std::vector<BcProgram> bc_programs_; //!< per specialized block
+    std::vector<uint64_t> bc_scratch_;
+    CppJitLibrary cpp_lib_;
+    /** Per specialization group: member programs + marshal sets. */
+    std::vector<std::vector<const BcProgram *>> group_bc_;
+    std::vector<std::vector<int>> group_reads_;
+    std::vector<std::vector<int>> group_writes_;
+
+    std::vector<int> flopped_nets_;
+    std::vector<char> is_flopped_;
+    std::vector<int> tick_array_tokens_; //!< arrays written at ticks
+    std::vector<char> token_in_arena_;   //!< hybrid-mode ownership
+    std::vector<uint64_t> write_snapshot_; //!< event change detection
+
+    // Event-driven worklist state.
+    std::vector<int> worklist_;
+    std::vector<char> in_worklist_;
+
+    bool dirty_ = true;
+    uint64_t ncycles_ = 0;
+    std::vector<std::function<void(uint64_t)>> cycle_hooks_;
+};
+
+} // namespace cmtl
+
+#endif // CMTL_CORE_SIM_H

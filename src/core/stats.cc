@@ -1,0 +1,154 @@
+#include "stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cmtl {
+
+namespace {
+
+uint64_t
+popcountDiff(const Bits &a, const Bits &b)
+{
+    uint64_t toggles = 0;
+    int nwords = std::max(a.nwords(), b.nwords());
+    for (int i = 0; i < nwords; ++i)
+        toggles += static_cast<uint64_t>(
+            __builtin_popcountll(a.word(i) ^ b.word(i)));
+    return toggles;
+}
+
+} // namespace
+
+ActivityTool::ActivityTool(SimulationTool &sim) : sim_(sim)
+{
+    const size_t nnets = sim_.elaboration().nets.size();
+    last_.assign(nnets, Bits());
+    toggles_.assign(nnets, 0);
+    sim_.onCycleEnd([this](uint64_t cycle) { sample(cycle); });
+}
+
+void
+ActivityTool::reset()
+{
+    std::fill(toggles_.begin(), toggles_.end(), 0);
+    cycles_ = 0;
+}
+
+void
+ActivityTool::sample(uint64_t)
+{
+    const auto &nets = sim_.elaboration().nets;
+    for (const Net &net : nets) {
+        Bits value = sim_.readNet(net.id);
+        if (!first_)
+            toggles_[net.id] += popcountDiff(value, last_[net.id]);
+        last_[net.id] = value;
+    }
+    first_ = false;
+    ++cycles_;
+}
+
+uint64_t
+ActivityTool::modelToggles(const Model &model) const
+{
+    // Sum over nets whose name-bearing signal lives in the subtree.
+    uint64_t total = 0;
+    for (const Net &net : sim_.elaboration().nets) {
+        for (const Signal *sig : net.signals) {
+            const Model *m = sig->owner();
+            bool inside = false;
+            while (m) {
+                if (m == &model) {
+                    inside = true;
+                    break;
+                }
+                m = m->parent();
+            }
+            if (inside) {
+                total += toggles_[net.id];
+                break; // count each net once
+            }
+        }
+    }
+    return total;
+}
+
+double
+ActivityTool::toggleRate() const
+{
+    if (cycles_ == 0)
+        return 0.0;
+    uint64_t total = 0;
+    for (uint64_t t : toggles_)
+        total += t;
+    return static_cast<double>(total) / static_cast<double>(cycles_);
+}
+
+std::string
+ActivityTool::report(size_t n) const
+{
+    const auto &nets = sim_.elaboration().nets;
+    std::vector<int> order(nets.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = static_cast<int>(i);
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+        return toggles_[a] > toggles_[b];
+    });
+    std::ostringstream os;
+    for (size_t i = 0; i < std::min(n, order.size()); ++i) {
+        os << nets[order[i]].name << ": " << toggles_[order[i]]
+           << " toggles\n";
+    }
+    return os.str();
+}
+
+TextWaveTool::TextWaveTool(SimulationTool &sim,
+                           std::vector<const Signal *> watch,
+                           size_t max_cycles)
+    : sim_(sim), watch_(std::move(watch)), samples_(watch_.size()),
+      max_cycles_(max_cycles)
+{
+    sim_.onCycleEnd([this](uint64_t) {
+        for (size_t i = 0; i < watch_.size(); ++i) {
+            if (samples_[i].size() < max_cycles_)
+                samples_[i].push_back(
+                    sim_.readNet(watch_[i]->netId()));
+        }
+    });
+}
+
+std::string
+TextWaveTool::render() const
+{
+    std::ostringstream os;
+    size_t name_width = 0;
+    for (const Signal *sig : watch_)
+        name_width = std::max(name_width, sig->fullName().size());
+
+    for (size_t i = 0; i < watch_.size(); ++i) {
+        const Signal *sig = watch_[i];
+        os << sig->fullName()
+           << std::string(name_width - sig->fullName().size() + 1, ' ');
+        if (sig->nbits() == 1) {
+            // Single-bit: draw levels.
+            for (const Bits &v : samples_[i])
+                os << (v.any() ? '#' : '_');
+        } else {
+            // Multi-bit: hex values, change-separated.
+            for (size_t c = 0; c < samples_[i].size(); ++c) {
+                if (c > 0 && samples_[i][c] == samples_[i][c - 1]) {
+                    os << '.';
+                } else {
+                    std::string hex =
+                        samples_[i][c].toHexString().substr(2);
+                    os << ' ' << hex;
+                }
+            }
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace cmtl

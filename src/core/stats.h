@@ -1,0 +1,81 @@
+/**
+ * @file
+ * ActivityTool: dynamic activity statistics.
+ *
+ * Another user-style tool over the model/tool split: attaches to a
+ * running simulation and counts net toggles (a standard dynamic-power
+ * proxy) and per-model activity, supporting the paper's motivation of
+ * extracting energy-relevant metrics from the same models used for
+ * performance work.
+ */
+
+#ifndef CMTL_CORE_STATS_H
+#define CMTL_CORE_STATS_H
+
+#include <string>
+#include <vector>
+
+#include "model.h"
+#include "sim.h"
+
+namespace cmtl {
+
+/** Counts per-net toggles over a simulation window. */
+class ActivityTool
+{
+  public:
+    /** Attach to @p sim; sampling starts immediately. */
+    explicit ActivityTool(SimulationTool &sim);
+
+    /** Zero all counters (e.g. after warmup). */
+    void reset();
+
+    /** Cycles observed since construction/reset. */
+    uint64_t cycles() const { return cycles_; }
+
+    /** Total bit toggles on one net. */
+    uint64_t netToggles(int net) const { return toggles_[net]; }
+
+    /** Sum of bit toggles across every net owned by @p model's
+     *  subtree (a relative dynamic-activity proxy). */
+    uint64_t modelToggles(const Model &model) const;
+
+    /** Average toggles per cycle across the whole design. */
+    double toggleRate() const;
+
+    /** The @p n most active nets, formatted one per line. */
+    std::string report(size_t n = 10) const;
+
+  private:
+    void sample(uint64_t cycle);
+
+    SimulationTool &sim_;
+    std::vector<Bits> last_;
+    std::vector<uint64_t> toggles_;
+    uint64_t cycles_ = 0;
+    bool first_ = true;
+};
+
+/**
+ * TextWaveTool: ASCII waveforms of selected signals, one column per
+ * cycle — the quick-look debugging view PyMTL's line tracing enabled.
+ */
+class TextWaveTool
+{
+  public:
+    TextWaveTool(SimulationTool &sim, std::vector<const Signal *> watch,
+                 size_t max_cycles = 64);
+
+    /** Render the collected window. */
+    std::string render() const;
+
+  private:
+    SimulationTool &sim_;
+    std::vector<const Signal *> watch_;
+    std::vector<std::vector<Bits>> samples_; //!< per signal, per cycle
+    size_t max_cycles_;
+};
+
+} // namespace cmtl
+
+#endif // CMTL_CORE_STATS_H

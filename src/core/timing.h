@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Wall-clock stopwatch used by tools and the overhead benchmarks.
+ */
+
+#ifndef CMTL_CORE_TIMING_H
+#define CMTL_CORE_TIMING_H
+
+#include <chrono>
+
+namespace cmtl {
+
+/** Simple wall-clock stopwatch. */
+class Stopwatch
+{
+  public:
+    Stopwatch() : start_(clock::now()) {}
+
+    /** Seconds since construction or the last restart(). */
+    double
+    elapsed() const
+    {
+        return std::chrono::duration<double>(clock::now() - start_).count();
+    }
+
+    void restart() { start_ = clock::now(); }
+
+  private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+} // namespace cmtl
+
+#endif // CMTL_CORE_TIMING_H

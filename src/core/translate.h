@@ -1,0 +1,44 @@
+/**
+ * @file
+ * TranslationTool: PyMTL-style translation of RTL models into
+ * synthesizable Verilog-2001.
+ *
+ * Takes an elaborated model hierarchy and emits one Verilog module per
+ * distinct typeName(). Translatable models must (1) describe all
+ * behavioural logic in tickRtl()/combinational() IR blocks, (2) only
+ * reference their own signals from those blocks, and (3) pass all data
+ * through fixed-width ports and wires. Purely structural models are
+ * always translatable when their children are (the full power of the
+ * host language remains available for elaboration), matching the
+ * paper's translatability rules. Models containing lambda blocks are
+ * rejected with a diagnostic.
+ */
+
+#ifndef CMTL_CORE_TRANSLATE_H
+#define CMTL_CORE_TRANSLATE_H
+
+#include <string>
+
+#include "model.h"
+
+namespace cmtl {
+
+/** Translates elaborated designs to Verilog-2001 source text. */
+class TranslationTool
+{
+  public:
+    /**
+     * Translate the hierarchy rooted at @p elab's top model.
+     * @throws std::logic_error for untranslatable constructs, naming
+     *         the offending model and block.
+     */
+    std::string translate(const Elaboration &elab);
+
+    /** Translate and write to @p path. Returns the source text. */
+    std::string translateToFile(const Elaboration &elab,
+                                const std::string &path);
+};
+
+} // namespace cmtl
+
+#endif // CMTL_CORE_TRANSLATE_H

@@ -1,0 +1,88 @@
+#include "vcd.h"
+
+#include <stdexcept>
+
+namespace cmtl {
+
+VcdWriter::VcdWriter(SimulationTool &sim, const std::string &path)
+    : sim_(sim), out_(path)
+{
+    if (!out_)
+        throw std::runtime_error("VcdWriter: cannot open " + path);
+    writeHeader();
+    last_.assign(sim_.elaboration().nets.size(), Bits());
+    sim_.onCycleEnd([this](uint64_t cycle) { dump(cycle); });
+}
+
+VcdWriter::~VcdWriter()
+{
+    close();
+}
+
+void
+VcdWriter::close()
+{
+    if (closed_)
+        return;
+    out_.flush();
+    closed_ = true;
+}
+
+std::string
+VcdWriter::idCode(int index)
+{
+    // Printable-ASCII base-94 identifier codes.
+    std::string code;
+    do {
+        code += static_cast<char>('!' + index % 94);
+        index /= 94;
+    } while (index > 0);
+    return code;
+}
+
+void
+VcdWriter::writeHeader()
+{
+    out_ << "$date today $end\n"
+         << "$version CMTL VcdWriter $end\n"
+         << "$timescale 1ns $end\n";
+    writeScope(sim_.elaboration().top, 0);
+    out_ << "$enddefinitions $end\n";
+}
+
+void
+VcdWriter::writeScope(const Model *model, int depth)
+{
+    std::string pad(static_cast<size_t>(depth) * 2, ' ');
+    out_ << pad << "$scope module " << model->instName() << " $end\n";
+    for (const Signal *sig : model->ownSignals()) {
+        out_ << pad << "  $var wire " << sig->nbits() << " "
+             << idCode(sig->netId()) << " " << sig->name() << " $end\n";
+    }
+    for (const Model *child : model->children())
+        writeScope(child, depth + 1);
+    out_ << pad << "$upscope $end\n";
+}
+
+void
+VcdWriter::dump(uint64_t cycle)
+{
+    const Elaboration &elab = sim_.elaboration();
+    out_ << "#" << cycle * 10 << "\n";
+    for (const Net &net : elab.nets) {
+        Bits value = sim_.readNet(net.id);
+        if (!first_ && value == last_[net.id])
+            continue;
+        last_[net.id] = value;
+        if (net.nbits == 1) {
+            out_ << (value.any() ? "1" : "0") << idCode(net.id) << "\n";
+        } else {
+            // Binary value without the "0b" prefix.
+            out_ << "b" << value.toBinString().substr(2) << " "
+                 << idCode(net.id) << "\n";
+        }
+    }
+    first_ = false;
+}
+
+} // namespace cmtl

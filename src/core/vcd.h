@@ -1,0 +1,53 @@
+/**
+ * @file
+ * VCD waveform dumping tool.
+ *
+ * Attaches to a SimulationTool and writes a Value Change Dump of every
+ * net after each simulated cycle, organized by the model hierarchy.
+ * Like every CMTL tool it consumes the elaborated model instance —
+ * models know nothing about waveforms.
+ */
+
+#ifndef CMTL_CORE_VCD_H
+#define CMTL_CORE_VCD_H
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "model.h"
+#include "sim.h"
+
+namespace cmtl {
+
+/** Streams net value changes to a VCD file. */
+class VcdWriter
+{
+  public:
+    /**
+     * Open @p path and register a per-cycle dump hook on @p sim.
+     * The writer must outlive the simulation.
+     */
+    VcdWriter(SimulationTool &sim, const std::string &path);
+
+    /** Flush and finalize the file. */
+    void close();
+
+    ~VcdWriter();
+
+  private:
+    void writeHeader();
+    void writeScope(const Model *model, int depth);
+    void dump(uint64_t cycle);
+    static std::string idCode(int index);
+
+    SimulationTool &sim_;
+    std::ofstream out_;
+    std::vector<Bits> last_;
+    bool first_ = true;
+    bool closed_ = false;
+};
+
+} // namespace cmtl
+
+#endif // CMTL_CORE_VCD_H

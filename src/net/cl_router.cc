@@ -1,0 +1,90 @@
+#include "cl_router.h"
+
+namespace cmtl {
+namespace net {
+
+RouterCL::RouterCL(Model *parent, const std::string &name, int id,
+                   int nrouters, int nmsgs, int payload_nbits,
+                   int nentries)
+    : Model(parent, name), msg_(makeNetMsg(nrouters, nmsgs, payload_nbits)),
+      id_(id), dim_(meshDim(nrouters)), nentries_(nentries),
+      inq_(kMeshPorts), staged_(kMeshPorts), outbuf_(kMeshPorts),
+      rr_(kMeshPorts, 0)
+{
+    for (int p = 0; p < kMeshPorts; ++p) {
+        in_.emplace_back(this, "in_" + std::to_string(p), msg_.nbits());
+        out.emplace_back(this, "out" + std::to_string(p), msg_.nbits());
+    }
+
+    tickCl("router_logic", [this] {
+        // 1. Output registers that fired drain.
+        for (int o = 0; o < kMeshPorts; ++o) {
+            if (out[o].fire())
+                outbuf_[o].reset();
+        }
+        // 2. Sample arrivals into the staging stage.
+        for (int p = 0; p < kMeshPorts; ++p) {
+            if (in_[p].fire())
+                staged_[p].push_back(in_[p].msg.value());
+        }
+        // 3. Switch traversal: per free output, round-robin over the
+        //    inputs whose head routes to it. Head routes are
+        //    snapshotted first so each input queue is popped at most
+        //    once per cycle (one read port per buffer).
+        int head_route[kMeshPorts];
+        for (int p = 0; p < kMeshPorts; ++p) {
+            if (inq_[p].empty()) {
+                head_route[p] = -1;
+            } else {
+                uint64_t dest =
+                    msg_.get(inq_[p].front(), "dest").toUint64();
+                head_route[p] =
+                    xyRoute(id_, static_cast<int>(dest), dim_);
+            }
+        }
+        for (int o = 0; o < kMeshPorts; ++o) {
+            if (outbuf_[o])
+                continue;
+            for (int k = 0; k < kMeshPorts; ++k) {
+                int p = (rr_[o] + k) % kMeshPorts;
+                if (head_route[p] != o)
+                    continue;
+                outbuf_[o] = inq_[p].front();
+                inq_[p].pop_front();
+                head_route[p] = -1;
+                rr_[o] = (p + 1) % kMeshPorts;
+                break;
+            }
+        }
+        // 4. Stage advance: this cycle's arrivals become eligible.
+        for (int p = 0; p < kMeshPorts; ++p) {
+            while (!staged_[p].empty()) {
+                inq_[p].push_back(staged_[p].front());
+                staged_[p].pop_front();
+            }
+        }
+        // 5. Drive interfaces for the next cycle.
+        for (int o = 0; o < kMeshPorts; ++o) {
+            out[o].val.setNext(uint64_t(outbuf_[o] ? 1 : 0));
+            if (outbuf_[o])
+                out[o].msg.setNext(*outbuf_[o]);
+        }
+        for (int p = 0; p < kMeshPorts; ++p) {
+            bool room = inq_[p].size() <
+                        static_cast<size_t>(nentries_);
+            in_[p].rdy.setNext(uint64_t(room ? 1 : 0));
+        }
+    });
+}
+
+std::string
+RouterCL::lineTrace() const
+{
+    std::string occ;
+    for (int p = 0; p < kMeshPorts; ++p)
+        occ += std::to_string(inq_[p].size());
+    return "r" + std::to_string(id_) + ":" + occ;
+}
+
+} // namespace net
+} // namespace cmtl

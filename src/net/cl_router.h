@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Cycle-level mesh router.
+ *
+ * XY dimension-ordered routing with per-input buffering, round-robin
+ * switch arbitration, and a two-stage (input, output) pipeline: a
+ * message arriving at cycle t is eligible for switch traversal at
+ * cycle t+1 and departs the output register at t+2, giving the
+ * two-cycle-per-hop timing typical of elastic-buffer routers. Written
+ * as a tick_cl lambda over host data structures — the cycle-level
+ * modeling style the paper's Section III-D describes.
+ */
+
+#ifndef CMTL_NET_CL_ROUTER_H
+#define CMTL_NET_CL_ROUTER_H
+
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/netmsg.h"
+#include "stdlib/valrdy.h"
+
+namespace cmtl {
+namespace net {
+
+/** Cycle-level 5-port mesh router. */
+class RouterCL : public Model
+{
+  public:
+    std::deque<InValRdy> in_; //!< TERM, NORTH, EAST, SOUTH, WEST
+    std::deque<OutValRdy> out;
+
+    RouterCL(Model *parent, const std::string &name, int id, int nrouters,
+             int nmsgs, int payload_nbits, int nentries);
+
+    int id() const { return id_; }
+
+    std::string lineTrace() const override;
+
+  private:
+    BitStructLayout msg_;
+    int id_;
+    int dim_;
+    int nentries_;
+    std::vector<std::deque<Bits>> inq_;    //!< eligible messages
+    std::vector<std::deque<Bits>> staged_; //!< arrived this cycle
+    std::vector<std::optional<Bits>> outbuf_;
+    std::vector<int> rr_; //!< round-robin pointer per output
+};
+
+} // namespace net
+} // namespace cmtl
+
+#endif // CMTL_NET_CL_ROUTER_H

@@ -1,0 +1,143 @@
+#include "cl_router_spec.h"
+
+#include <stdexcept>
+
+namespace cmtl {
+namespace net {
+
+RouterCLSpec::RouterCLSpec(Model *parent, const std::string &name, int id,
+                           int nrouters, int nmsgs, int payload_nbits,
+                           int nentries)
+    : Model(parent, name), msg_(makeNetMsg(nrouters, nmsgs, payload_nbits)),
+      id_(id), dim_(meshDim(nrouters)), nentries_(nentries)
+{
+    if (nentries < 2 || (nentries & (nentries - 1)) != 0)
+        throw std::invalid_argument(
+            "RouterCLSpec requires a power-of-two queue depth");
+    const int ib = bitsFor(nentries);      // head index bits
+    const int cb = bitsFor(nentries + 1);  // count bits
+    const int coord_bits = bitsFor(dim_);
+    const int dest_lsb = msg_.field("dest").lsb;
+    const uint64_t hx = static_cast<uint64_t>(id_ % dim_);
+    const uint64_t hy = static_cast<uint64_t>(id_ / dim_);
+
+    for (int p = 0; p < kMeshPorts; ++p) {
+        in_.emplace_back(this, "in_" + std::to_string(p), msg_.nbits());
+        out.emplace_back(this, "out" + std::to_string(p), msg_.nbits());
+        queues_.emplace_back(this, "q" + std::to_string(p),
+                             msg_.nbits(), nentries);
+        head_.emplace_back(this, "head" + std::to_string(p), ib);
+        count_.emplace_back(this, "count" + std::to_string(p), cb);
+        route_.emplace_back(this, "route" + std::to_string(p), 3);
+        grant_.emplace_back(this, "grant" + std::to_string(p),
+                            kMeshPorts);
+        obuf_full_.emplace_back(this, "obuf_full" + std::to_string(p),
+                                1);
+        obuf_msg_.emplace_back(this, "obuf_msg" + std::to_string(p),
+                               msg_.nbits());
+        rr_.emplace_back(this, "rr" + std::to_string(p), 3);
+    }
+
+    // ------------------------------------------------ combinational
+    auto &c = combinational("comb");
+    for (int p = 0; p < kMeshPorts; ++p) {
+        // Route computation on each input queue's head message.
+        IrExpr headmsg =
+            c.let("hm" + std::to_string(p), aread(queues_[p], rd(head_[p])));
+        IrExpr dest = c.let("dest" + std::to_string(p),
+                            headmsg.slice(dest_lsb,
+                                          msg_.field("dest").nbits));
+        IrExpr dx = dest.slice(0, coord_bits);
+        IrExpr dy = dest.slice(coord_bits, coord_bits);
+        c.assign(route_[p],
+                 mux(dx > lit(coord_bits, hx), lit(3, EAST),
+                     mux(dx < lit(coord_bits, hx), lit(3, WEST),
+                         mux(dy > lit(coord_bits, hy), lit(3, SOUTH),
+                             mux(dy < lit(coord_bits, hy),
+                                 lit(3, NORTH), lit(3, TERM))))));
+        // Interface outputs mirror registered state.
+        c.assign(out[p].val, rd(obuf_full_[p]));
+        c.assign(out[p].msg, rd(obuf_msg_[p]));
+        c.assign(in_[p].rdy,
+                 rd(count_[p]) < static_cast<uint64_t>(nentries_));
+    }
+    // Per-output round-robin grant over requesting inputs.
+    for (int o = 0; o < kMeshPorts; ++o) {
+        IrExpr result = lit(kMeshPorts, 0);
+        for (int r = kMeshPorts - 1; r >= 0; --r) {
+            IrExpr pick = lit(kMeshPorts, 0);
+            for (int k = kMeshPorts - 1; k >= 0; --k) {
+                int p = (r + k) % kMeshPorts;
+                IrExpr req =
+                    (rd(count_[p]) != 0u) &&
+                    (rd(route_[p]) == static_cast<uint64_t>(o));
+                pick = mux(req, lit(kMeshPorts, uint64_t(1) << p),
+                           pick);
+            }
+            result = mux(rd(rr_[o]) == static_cast<uint64_t>(r), pick,
+                         result);
+        }
+        c.assign(grant_[o], result);
+    }
+
+    // -------------------------------------------------- sequential
+    auto &t = tickRtl("seq");
+    // Output-side: drain, then refill from the granted input.
+    std::vector<IrExpr> free(kMeshPorts);
+    for (int o = 0; o < kMeshPorts; ++o) {
+        IrExpr fire = rd(obuf_full_[o]) && rd(out[o].rdy);
+        free[o] = t.let("free" + std::to_string(o),
+                        !rd(obuf_full_[o]) || fire);
+        IrExpr any = rd(grant_[o]).reduceOr();
+        t.if_(free[o] && any, [&] {
+            // Crossbar: select the granted input's head message.
+            IrExpr msg = aread(queues_[0], rd(head_[0]));
+            IrExpr nrr = lit(3, 1);
+            for (int p = kMeshPorts - 1; p >= 1; --p) {
+                msg = mux(rd(grant_[o]).bit(p),
+                          aread(queues_[p], rd(head_[p])), msg);
+            }
+            for (int p = kMeshPorts - 1; p >= 1; --p) {
+                nrr = mux(rd(grant_[o]).bit(p),
+                          lit(3, static_cast<uint64_t>((p + 1) %
+                                                       kMeshPorts)),
+                          nrr);
+            }
+            t.assign(obuf_msg_[o], msg);
+            t.assign(obuf_full_[o], 1);
+            t.assign(rr_[o], nrr);
+        },
+        [&] {
+            t.if_(fire, [&] { t.assign(obuf_full_[o], 0); });
+        });
+    }
+    // Input-side: enqueue arrivals, dequeue grants.
+    for (int p = 0; p < kMeshPorts; ++p) {
+        IrExpr enq = t.let("enq" + std::to_string(p),
+                           rd(in_[p].val) && rd(in_[p].rdy));
+        IrExpr deq = lit(1, 0);
+        for (int o = 0; o < kMeshPorts; ++o)
+            deq = deq || (free[o] && rd(grant_[o]).bit(p));
+        deq = t.let("deq" + std::to_string(p), deq);
+        t.if_(enq, [&] {
+            IrExpr sum = t.let("hcsum" + std::to_string(p),
+                               rd(head_[p]).zext(8) +
+                                   rd(count_[p]).zext(8));
+            t.writeArray(queues_[p], sum.slice(0, bitsFor(nentries_)),
+                         rd(in_[p].msg));
+        });
+        t.if_(deq, [&] {
+            t.assign(head_[p], rd(head_[p]) + 1u);
+        });
+        int cb2 = count_[p].nbits();
+        t.assign(count_[p],
+                 rd(count_[p]) + enq.zext(cb2) - deq.zext(cb2));
+        t.if_(rd(reset), [&] {
+            t.assign(count_[p], 0);
+            t.assign(head_[p], 0);
+        });
+    }
+}
+
+} // namespace net
+} // namespace cmtl

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Cycle-level mesh router in the specializable subset.
+ *
+ * The same cycle-level behaviour as RouterCL — XY routing, per-input
+ * buffering, round-robin switch arbitration, two-cycle-per-hop
+ * timing — but expressed in the CMTL IR instead of arbitrary host
+ * code. This is the analog of a PyMTL CL model written in the
+ * restricted Python subset SimJIT-CL can translate (Section IV-A):
+ * the paper's CL mesh results rely on exactly this property. It is
+ * verified cycle-exact against RouterCL.
+ *
+ * Unlike RouterRTL this is a single flat model: queues are memory
+ * arrays with head/count registers rather than structural shift
+ * registers, and arbitration is inlined — the coarser modeling style
+ * of cycle-level code.
+ */
+
+#ifndef CMTL_NET_CL_ROUTER_SPEC_H
+#define CMTL_NET_CL_ROUTER_SPEC_H
+
+#include <deque>
+#include <string>
+
+#include "net/netmsg.h"
+#include "stdlib/valrdy.h"
+
+namespace cmtl {
+namespace net {
+
+/** IR-based cycle-level 5-port mesh router. */
+class RouterCLSpec : public Model
+{
+  public:
+    std::deque<InValRdy> in_; //!< TERM, NORTH, EAST, SOUTH, WEST
+    std::deque<OutValRdy> out;
+
+    RouterCLSpec(Model *parent, const std::string &name, int id,
+                 int nrouters, int nmsgs, int payload_nbits,
+                 int nentries);
+
+    int id() const { return id_; }
+
+    std::string
+    typeName() const override
+    {
+        return "RouterCLSpec_" + std::to_string(id_) + "_" +
+               std::to_string(nentries_);
+    }
+
+  private:
+    BitStructLayout msg_;
+    int id_;
+    int dim_;
+    int nentries_;
+
+    std::deque<MemArray> queues_; //!< per-input circular buffers
+    std::deque<Wire> head_, count_;
+    std::deque<Wire> route_;  //!< routed output of each input head
+    std::deque<Wire> grant_;  //!< per-output one-hot grants (comb)
+    std::deque<Wire> obuf_full_, obuf_msg_, rr_;
+};
+
+} // namespace net
+} // namespace cmtl
+
+#endif // CMTL_NET_CL_ROUTER_SPEC_H

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Functional-level network (paper Figure 10).
+ *
+ * Emulates the functionality but not the timing of a mesh network:
+ * behaviourally an ideal single-cycle crossbar with one output FIFO
+ * per terminal. Resource constraints exist only at the interface —
+ * multiple packets may enter the same output queue in one cycle, but
+ * only one may leave per cycle.
+ */
+
+#ifndef CMTL_NET_FL_NETWORK_H
+#define CMTL_NET_FL_NETWORK_H
+
+#include <deque>
+#include <vector>
+
+#include "net/netmsg.h"
+#include "stdlib/valrdy.h"
+
+namespace cmtl {
+namespace net {
+
+/** Magic-crossbar FL network with per-output FIFOs. */
+class NetworkFL : public Model
+{
+  public:
+    std::deque<InValRdy> in_;
+    std::deque<OutValRdy> out;
+
+    NetworkFL(Model *parent, const std::string &name, int nrouters,
+              int nmsgs, int payload_nbits, int nentries);
+
+    int numTerminals() const { return nrouters_; }
+    const BitStructLayout &msgType() const { return msg_; }
+
+  private:
+    BitStructLayout msg_;
+    std::vector<std::deque<Bits>> output_fifos_;
+    int nrouters_;
+    int nentries_;
+};
+
+} // namespace net
+} // namespace cmtl
+
+#endif // CMTL_NET_FL_NETWORK_H

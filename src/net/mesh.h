@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Structural mesh network (paper Figure 11).
+ *
+ * The mesh is parameterized by its router type: instantiating it with
+ * RouterCL yields the cycle-level network, with RouterRTL the
+ * register-transfer-level network — the paper's key composition
+ * pattern for trading accuracy against simulation speed, or swapping
+ * microarchitectures, without touching the top-level structure.
+ */
+
+#ifndef CMTL_NET_MESH_H
+#define CMTL_NET_MESH_H
+
+#include <deque>
+#include <string>
+
+#include "net/cl_router.h"
+#include "net/cl_router_spec.h"
+#include "net/netmsg.h"
+#include "net/rtl_router.h"
+#include "stdlib/valrdy.h"
+
+namespace cmtl {
+namespace net {
+
+/** XY mesh composed structurally from any 5-port router model. */
+template <typename RouterType>
+class MeshNetworkStructural : public Model
+{
+  public:
+    std::deque<InValRdy> in_;
+    std::deque<OutValRdy> out;
+    std::deque<RouterType> routers;
+
+    MeshNetworkStructural(Model *parent, const std::string &name,
+                          int nrouters, int nmsgs, int payload_nbits,
+                          int nentries)
+        : Model(parent, name),
+          msg_(makeNetMsg(nrouters, nmsgs, payload_nbits)),
+          nrouters_(nrouters)
+    {
+        const int dim = meshDim(nrouters);
+        for (int i = 0; i < nrouters; ++i) {
+            in_.emplace_back(this, "in_" + std::to_string(i),
+                             msg_.nbits());
+            out.emplace_back(this, "out" + std::to_string(i),
+                             msg_.nbits());
+            routers.emplace_back(this, "router" + std::to_string(i), i,
+                                 nrouters, nmsgs, payload_nbits,
+                                 nentries);
+        }
+
+        // Injection/ejection terminals.
+        for (int i = 0; i < nrouters; ++i) {
+            connectValRdy(*this, in_[i], routers[i].in_[TERM]);
+            connectValRdy(*this, routers[i].out[TERM], out[i]);
+        }
+
+        // Mesh channels (east-west and north-south neighbor pairs).
+        for (int j = 0; j < dim; ++j) {
+            for (int i = 0; i < dim; ++i) {
+                int idx = i + j * dim;
+                RouterType &cur = routers[idx];
+                if (i + 1 < dim) {
+                    RouterType &east = routers[idx + 1];
+                    connectValRdy(*this, cur.out[EAST], east.in_[WEST]);
+                    connectValRdy(*this, east.out[WEST], cur.in_[EAST]);
+                }
+                if (j + 1 < dim) {
+                    RouterType &south = routers[idx + dim];
+                    connectValRdy(*this, cur.out[SOUTH],
+                                  south.in_[NORTH]);
+                    connectValRdy(*this, south.out[NORTH],
+                                  cur.in_[SOUTH]);
+                }
+            }
+        }
+    }
+
+    int numTerminals() const { return nrouters_; }
+    const BitStructLayout &msgType() const { return msg_; }
+
+    std::string
+    typeName() const override
+    {
+        return "Mesh_" + routers[0].typeName() + "_" +
+               std::to_string(nrouters_);
+    }
+
+  private:
+    BitStructLayout msg_;
+    int nrouters_;
+};
+
+using MeshNetworkCL = MeshNetworkStructural<RouterCL>;
+using MeshNetworkCLSpec = MeshNetworkStructural<RouterCLSpec>;
+using MeshNetworkRTL = MeshNetworkStructural<RouterRTL>;
+
+} // namespace net
+} // namespace cmtl
+
+#endif // CMTL_NET_MESH_H

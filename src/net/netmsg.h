@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Network message format and XY-mesh routing helpers.
+ */
+
+#ifndef CMTL_NET_NETMSG_H
+#define CMTL_NET_NETMSG_H
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "core/bitstruct.h"
+
+namespace cmtl {
+namespace net {
+
+/** Router port indices for a 2D mesh. */
+enum MeshPort { TERM = 0, NORTH = 1, EAST = 2, SOUTH = 3, WEST = 4 };
+constexpr int kMeshPorts = 5;
+
+/**
+ * The paper's NetMsg: dest | src | opaque | payload, parameterized by
+ * router count, in-flight message id space and payload width.
+ */
+inline BitStructLayout
+makeNetMsg(int nrouters, int nmsgs, int payload_nbits)
+{
+    return BitStructLayout("NetMsg", {{"dest", bitsFor(nrouters)},
+                                      {"src", bitsFor(nrouters)},
+                                      {"opaque", bitsFor(nmsgs)},
+                                      {"payload", payload_nbits}});
+}
+
+/** Integer square root for mesh dimensions; throws if not square. */
+inline int
+meshDim(int nrouters)
+{
+    int dim = static_cast<int>(std::lround(std::sqrt(nrouters)));
+    if (dim * dim != nrouters)
+        throw std::invalid_argument("nrouters must be a perfect square");
+    return dim;
+}
+
+/**
+ * XY dimension-ordered routing: returns the output MeshPort a message
+ * at router @p here must take to reach router @p dest.
+ */
+inline MeshPort
+xyRoute(int here, int dest, int dim)
+{
+    int hx = here % dim, hy = here / dim;
+    int dx = dest % dim, dy = dest / dim;
+    if (dx > hx)
+        return EAST;
+    if (dx < hx)
+        return WEST;
+    if (dy > hy)
+        return SOUTH;
+    if (dy < hy)
+        return NORTH;
+    return TERM;
+}
+
+/** Number of XY hops (router-to-router links) between two routers. */
+inline int
+xyHops(int a, int b, int dim)
+{
+    return std::abs(a % dim - b % dim) + std::abs(a / dim - b / dim);
+}
+
+} // namespace net
+} // namespace cmtl
+
+#endif // CMTL_NET_NETMSG_H

@@ -1,0 +1,117 @@
+#include "rtl_router.h"
+
+#include <stdexcept>
+
+namespace cmtl {
+namespace net {
+
+namespace {
+
+int
+log2Exact(int value)
+{
+    int bits = 0;
+    while ((1 << bits) < value)
+        ++bits;
+    if ((1 << bits) != value)
+        throw std::invalid_argument(
+            "RouterRTL requires a power-of-two mesh dimension");
+    return bits;
+}
+
+} // namespace
+
+RouterRTL::RouterRTL(Model *parent, const std::string &name, int id,
+                     int nrouters, int nmsgs, int payload_nbits,
+                     int nentries)
+    : Model(parent, name), msg_(makeNetMsg(nrouters, nmsgs, payload_nbits)),
+      id_(id), dim_(meshDim(nrouters)), nentries_(nentries)
+{
+    const int coord_bits = log2Exact(dim_);
+    const int dest_lsb = msg_.field("dest").lsb;
+    const uint64_t hx = static_cast<uint64_t>(id_ % dim_);
+    const uint64_t hy = static_cast<uint64_t>(id_ / dim_);
+
+    // Parent-side wires shadowing child ports keep every IR block
+    // local to this model, preserving Verilog translatability.
+    for (int p = 0; p < kMeshPorts; ++p) {
+        in_.emplace_back(this, "in_" + std::to_string(p), msg_.nbits());
+        out.emplace_back(this, "out" + std::to_string(p), msg_.nbits());
+        queues_.emplace_back(this, "queue" + std::to_string(p),
+                             msg_.nbits(), nentries);
+        arbiters_.emplace_back(this, "arb" + std::to_string(p),
+                               kMeshPorts);
+        routes_.emplace_back(this, "route" + std::to_string(p), 3);
+        reqs_.emplace_back(this, "reqs" + std::to_string(p), kMeshPorts);
+        grants_.emplace_back(this, "grants" + std::to_string(p),
+                             kMeshPorts);
+        qmsg_.emplace_back(this, "qmsg" + std::to_string(p),
+                           msg_.nbits());
+        qval_.emplace_back(this, "qval" + std::to_string(p), 1);
+        qrdy_.emplace_back(this, "qrdy" + std::to_string(p), 1);
+        en_.emplace_back(this, "en" + std::to_string(p), 1);
+    }
+
+    for (int p = 0; p < kMeshPorts; ++p) {
+        // External ports feed the input queues.
+        connectValRdy(*this, in_[p], queues_[p].enq);
+        // Shadow wires for the queue dequeue side and arbiter ports.
+        connect(qmsg_[p], queues_[p].deq.msg);
+        connect(qval_[p], queues_[p].deq.val);
+        connect(qrdy_[p], queues_[p].deq.rdy);
+        connect(reqs_[p], arbiters_[p].reqs);
+        connect(grants_[p], arbiters_[p].grants);
+        connect(en_[p], arbiters_[p].en);
+    }
+
+    // Stage 1: route computation and per-output request vectors.
+    auto &rc = combinational("route_comb");
+    for (int p = 0; p < kMeshPorts; ++p) {
+        // let() keeps the nested slices Verilog-translatable.
+        IrExpr dest = rc.let("dest" + std::to_string(p),
+                             rd(qmsg_[p]).slice(
+                                 dest_lsb, msg_.field("dest").nbits));
+        IrExpr dx = dest.slice(0, coord_bits);
+        IrExpr dy = dest.slice(coord_bits, coord_bits);
+        IrExpr route =
+            mux(dx > lit(coord_bits, hx), lit(3, EAST),
+                mux(dx < lit(coord_bits, hx), lit(3, WEST),
+                    mux(dy > lit(coord_bits, hy), lit(3, SOUTH),
+                        mux(dy < lit(coord_bits, hy), lit(3, NORTH),
+                            lit(3, TERM)))));
+        rc.assign(routes_[p], route);
+    }
+    for (int o = 0; o < kMeshPorts; ++o) {
+        IrExpr req = lit(kMeshPorts, 0);
+        for (int p = kMeshPorts - 1; p >= 0; --p) {
+            IrExpr wants =
+                rd(qval_[p]) &&
+                (rd(routes_[p]) == static_cast<uint64_t>(o));
+            req = req |
+                  mux(wants, lit(kMeshPorts, uint64_t(1) << p),
+                      lit(kMeshPorts, 0));
+        }
+        rc.assign(reqs_[o], req);
+    }
+
+    // Stage 2: crossbar traversal and handshakes, from the grants.
+    auto &xb = combinational("xbar_comb");
+    for (int o = 0; o < kMeshPorts; ++o) {
+        IrExpr any = rd(grants_[o]).reduceOr();
+        xb.assign(out[o].val, any);
+        IrExpr msg = rd(qmsg_[0]);
+        for (int p = kMeshPorts - 1; p >= 1; --p)
+            msg = mux(rd(grants_[o]).bit(p), rd(qmsg_[p]), msg);
+        xb.assign(out[o].msg, msg);
+        xb.assign(en_[o], any && rd(out[o].rdy));
+    }
+    for (int p = 0; p < kMeshPorts; ++p) {
+        IrExpr fired = lit(1, 0);
+        for (int o = 0; o < kMeshPorts; ++o)
+            fired = fired || (rd(grants_[o]).bit(p) && rd(out[o].rdy));
+        xb.assign(qrdy_[p], fired);
+    }
+}
+
+} // namespace net
+} // namespace cmtl

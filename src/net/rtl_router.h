@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Register-transfer-level mesh router.
+ *
+ * Input-queued 5-port router: per-input RtlQueue buffering, XY
+ * dimension-ordered route computation, per-output round-robin switch
+ * arbitration and a combinational crossbar. Entirely IR-based, so it
+ * is Verilog-translatable and fully SimJIT-specializable; it exposes
+ * the identical port-based interface as RouterCL, allowing either to
+ * parameterize the structural mesh (paper Figure 11).
+ *
+ * Requires the mesh dimension to be a power of two so destination x/y
+ * coordinates are bitfields of the router id.
+ */
+
+#ifndef CMTL_NET_RTL_ROUTER_H
+#define CMTL_NET_RTL_ROUTER_H
+
+#include <deque>
+#include <string>
+
+#include "net/netmsg.h"
+#include "stdlib/arbiters.h"
+#include "stdlib/queues.h"
+#include "stdlib/valrdy.h"
+
+namespace cmtl {
+namespace net {
+
+/** RTL 5-port mesh router. */
+class RouterRTL : public Model
+{
+  public:
+    std::deque<InValRdy> in_; //!< TERM, NORTH, EAST, SOUTH, WEST
+    std::deque<OutValRdy> out;
+
+    RouterRTL(Model *parent, const std::string &name, int id,
+              int nrouters, int nmsgs, int payload_nbits, int nentries);
+
+    int id() const { return id_; }
+
+    std::string
+    typeName() const override
+    {
+        // Routers are position-specific (coordinates are baked into
+        // the route logic), so each id is its own module.
+        return "RouterRTL_" + std::to_string(id_) + "_" +
+               std::to_string(nentries_);
+    }
+
+  private:
+    BitStructLayout msg_;
+    int id_;
+    int dim_;
+    int nentries_;
+    std::deque<stdlib::RtlQueue> queues_;
+    std::deque<stdlib::RoundRobinArbiter> arbiters_;
+    std::deque<Wire> routes_; //!< per-input routed output port
+    std::deque<Wire> reqs_;   //!< per-output request vector
+    std::deque<Wire> grants_; //!< per-output grant vector (wired copy)
+    std::deque<Wire> qmsg_;   //!< shadow of queue deq.msg
+    std::deque<Wire> qval_;   //!< shadow of queue deq.val
+    std::deque<Wire> qrdy_;   //!< shadow of queue deq.rdy
+    std::deque<Wire> en_;     //!< shadow of arbiter enable
+};
+
+} // namespace net
+} // namespace cmtl
+
+#endif // CMTL_NET_RTL_ROUTER_H

@@ -1,0 +1,123 @@
+#include "traffic.h"
+
+namespace cmtl {
+namespace net {
+
+namespace {
+constexpr int kNumMsgIds = 16;
+constexpr int kPayloadBits = 16;
+constexpr uint64_t kTimeMask = (uint64_t(1) << kPayloadBits) - 1;
+} // namespace
+
+MeshTrafficTop::MeshTrafficTop(const std::string &name, NetLevel level,
+                               int nrouters, int nentries,
+                               double injection_rate, uint64_t seed)
+    : Model(nullptr, name),
+      msg_(makeNetMsg(nrouters, kNumMsgIds, kPayloadBits)),
+      level_(level), nrouters_(nrouters),
+      rate_fp_(rateToFp32(injection_rate))
+{
+    switch (level) {
+      case NetLevel::FL:
+        fl_ = std::make_unique<NetworkFL>(this, "net", nrouters,
+                                          kNumMsgIds, kPayloadBits,
+                                          nentries);
+        net_in_ = &fl_->in_;
+        net_out_ = &fl_->out;
+        break;
+      case NetLevel::CL:
+        cl_ = std::make_unique<MeshNetworkCL>(this, "net", nrouters,
+                                              kNumMsgIds, kPayloadBits,
+                                              nentries);
+        net_in_ = &cl_->in_;
+        net_out_ = &cl_->out;
+        break;
+      case NetLevel::CLSpec:
+        cl_spec_ = std::make_unique<MeshNetworkCLSpec>(
+            this, "net", nrouters, kNumMsgIds, kPayloadBits, nentries);
+        net_in_ = &cl_spec_->in_;
+        net_out_ = &cl_spec_->out;
+        break;
+      case NetLevel::RTL:
+        rtl_ = std::make_unique<MeshNetworkRTL>(this, "net", nrouters,
+                                                kNumMsgIds, kPayloadBits,
+                                                nentries);
+        net_in_ = &rtl_->in_;
+        net_out_ = &rtl_->out;
+        break;
+    }
+
+    gens_.resize(nrouters);
+    for (int t = 0; t < nrouters; ++t)
+        gens_[t].init(seed, t);
+    srcq_.resize(nrouters);
+
+    tickFl("traffic", [this] {
+        // Ejection: sinks are always ready; measure completed
+        // transfers.
+        for (int t = 0; t < nrouters_; ++t) {
+            OutValRdy &o = (*net_out_)[t];
+            if (o.fire()) {
+                uint64_t sent =
+                    msg_.get(o.msg.value(), "payload").toUint64();
+                uint64_t lat = (now_ - sent) & kTimeMask;
+                --inflight_;
+                ++stats_.received;
+                stats_.latency_sum += lat;
+                stats_.latency_max = std::max(stats_.latency_max, lat);
+            }
+            o.rdy.setNext(uint64_t(1));
+        }
+        // Injection bookkeeping: a source head accepted last cycle
+        // leaves its queue.
+        for (int t = 0; t < nrouters_; ++t) {
+            InValRdy &i = (*net_in_)[t];
+            if (i.fire()) {
+                srcq_[t].pop_front();
+                ++inflight_;
+                ++stats_.injected;
+            }
+        }
+        // Generation: open-loop Bernoulli arrivals.
+        for (int t = 0; t < nrouters_; ++t) {
+            if (gens_[t].genThisCycle(rate_fp_)) {
+                int dest = gens_[t].pickDest(nrouters_);
+                Bits msg = msg_.pack(
+                    {static_cast<uint64_t>(dest),
+                     static_cast<uint64_t>(t),
+                     stats_.generated & (kNumMsgIds - 1),
+                     now_ & kTimeMask});
+                srcq_[t].emplace_back(msg, now_);
+                ++stats_.generated;
+            }
+        }
+        // Drive injection interfaces.
+        for (int t = 0; t < nrouters_; ++t) {
+            InValRdy &i = (*net_in_)[t];
+            bool have = !srcq_[t].empty();
+            i.val.setNext(uint64_t(have ? 1 : 0));
+            if (have)
+                i.msg.setNext(srcq_[t].front().first);
+        }
+        ++now_;
+        ++stats_.cycles;
+    });
+}
+
+void
+MeshTrafficTop::resetStats()
+{
+    stats_ = NetStats{};
+}
+
+uint64_t
+MeshTrafficTop::queuedAtSources() const
+{
+    uint64_t total = 0;
+    for (const auto &q : srcq_)
+        total += q.size();
+    return total;
+}
+
+} // namespace net
+} // namespace cmtl

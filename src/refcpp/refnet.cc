@@ -1,0 +1,201 @@
+#include "refnet.h"
+
+namespace cmtl {
+namespace refcpp {
+
+namespace {
+constexpr int kNumMsgIds = 16;
+constexpr int kPayloadBits = 16;
+constexpr uint64_t kTimeMask = (uint64_t(1) << kPayloadBits) - 1;
+} // namespace
+
+RefMeshCL::RefMeshCL(int nrouters, int nentries, double injection_rate,
+                     uint64_t seed)
+    : nrouters_(nrouters), dim_(net::meshDim(nrouters)),
+      nentries_(nentries), rate_fp_(net::rateToFp32(injection_rate))
+{
+    // Replicate makeNetMsg's most-significant-first field packing.
+    dest_bits_ = bitsFor(static_cast<uint64_t>(nrouters));
+    int opaque_bits = bitsFor(kNumMsgIds);
+    payload_bits_ = kPayloadBits;
+    opq_lsb_ = payload_bits_;
+    src_lsb_ = opq_lsb_ + opaque_bits;
+    dest_lsb_ = src_lsb_ + dest_bits_;
+
+    rin_.resize(nrouters);
+    rin_nxt_.resize(nrouters);
+    sink_.resize(nrouters);
+    sink_nxt_.resize(nrouters);
+    routers_.resize(nrouters);
+    srcq_.resize(nrouters);
+    gens_.resize(nrouters);
+    for (int t = 0; t < nrouters; ++t)
+        gens_[t].init(seed, t);
+}
+
+uint32_t
+RefMeshCL::destOf(uint32_t msg) const
+{
+    return (msg >> dest_lsb_) & ((1u << dest_bits_) - 1);
+}
+
+uint64_t
+RefMeshCL::payloadOf(uint32_t msg) const
+{
+    return msg & kTimeMask;
+}
+
+uint32_t
+RefMeshCL::packMsg(uint32_t dest, uint32_t src, uint32_t opaque,
+                   uint64_t payload) const
+{
+    return (dest << dest_lsb_) | (src << src_lsb_) |
+           (opaque << opq_lsb_) |
+           static_cast<uint32_t>(payload & kTimeMask);
+}
+
+void
+RefMeshCL::cycle()
+{
+    rin_nxt_ = rin_;
+    sink_nxt_ = sink_;
+
+    // --- Harness (mirrors MeshTrafficTop's tick, same order) --------
+    for (int t = 0; t < nrouters_; ++t) {
+        Chan &o = sink_[t];
+        if (o.val && o.rdy) {
+            uint64_t lat = (now_ - payloadOf(o.msg)) & kTimeMask;
+            --inflight_;
+            ++stats_.received;
+            stats_.latency_sum += lat;
+            stats_.latency_max = std::max(stats_.latency_max, lat);
+        }
+        sink_nxt_[t].rdy = 1;
+    }
+    for (int t = 0; t < nrouters_; ++t) {
+        Chan &i = rin_[t][net::TERM];
+        if (i.val && i.rdy) {
+            srcq_[t].pop_front();
+            ++inflight_;
+            ++stats_.injected;
+        }
+    }
+    for (int t = 0; t < nrouters_; ++t) {
+        if (gens_[t].genThisCycle(rate_fp_)) {
+            uint32_t dest =
+                static_cast<uint32_t>(gens_[t].pickDest(nrouters_));
+            srcq_[t].push_back(packMsg(
+                dest, static_cast<uint32_t>(t),
+                static_cast<uint32_t>(stats_.generated &
+                                      (kNumMsgIds - 1)),
+                now_));
+            ++stats_.generated;
+        }
+    }
+    for (int t = 0; t < nrouters_; ++t) {
+        Chan &i = rin_nxt_[t][net::TERM];
+        i.val = srcq_[t].empty() ? 0 : 1;
+        if (!srcq_[t].empty())
+            i.msg = srcq_[t].front();
+    }
+
+    // --- Routers (mirror RouterCL's tick) ----------------------------
+    for (int r = 0; r < nrouters_; ++r) {
+        Router &router = routers_[r];
+        // Resolve each output's receiver channel (cur and next).
+        auto receiver = [&](int o, bool next) -> Chan * {
+            auto &rin = next ? rin_nxt_ : rin_;
+            auto &sink = next ? sink_nxt_ : sink_;
+            int x = r % dim_, y = r / dim_;
+            switch (o) {
+              case net::TERM: return &sink[r];
+              case net::NORTH:
+                return y > 0 ? &rin[r - dim_][net::SOUTH] : nullptr;
+              case net::EAST:
+                return x + 1 < dim_ ? &rin[r + 1][net::WEST] : nullptr;
+              case net::SOUTH:
+                return y + 1 < dim_ ? &rin[r + dim_][net::NORTH]
+                                    : nullptr;
+              case net::WEST:
+                return x > 0 ? &rin[r - 1][net::EAST] : nullptr;
+            }
+            return nullptr;
+        };
+
+        // 1. Output registers that fired drain.
+        for (int o = 0; o < kPorts; ++o) {
+            Chan *ch = receiver(o, false);
+            if (ch && ch->val && ch->rdy)
+                router.outbuf[o].reset();
+        }
+        // 2. Arrivals into staging.
+        for (int p = 0; p < kPorts; ++p) {
+            Chan &ch = rin_[r][p];
+            if (ch.val && ch.rdy)
+                router.staged[p].push_back(ch.msg);
+        }
+        // 3. Switch traversal with round-robin arbitration; head
+        //    routes snapshotted (single pop per input per cycle).
+        int head_route[kPorts];
+        for (int p = 0; p < kPorts; ++p) {
+            head_route[p] =
+                router.inq[p].empty()
+                    ? -1
+                    : net::xyRoute(
+                          r,
+                          static_cast<int>(destOf(router.inq[p].front())),
+                          dim_);
+        }
+        for (int o = 0; o < kPorts; ++o) {
+            if (router.outbuf[o])
+                continue;
+            for (int k = 0; k < kPorts; ++k) {
+                int p = (router.rr[o] + k) % kPorts;
+                if (head_route[p] != o)
+                    continue;
+                router.outbuf[o] = router.inq[p].front();
+                router.inq[p].pop_front();
+                head_route[p] = -1;
+                router.rr[o] = (p + 1) % kPorts;
+                break;
+            }
+        }
+        // 4. Stage advance.
+        for (int p = 0; p < kPorts; ++p) {
+            while (!router.staged[p].empty()) {
+                router.inq[p].push_back(router.staged[p].front());
+                router.staged[p].pop_front();
+            }
+        }
+        // 5. Drive outputs and input readiness for next cycle.
+        for (int o = 0; o < kPorts; ++o) {
+            Chan *ch = receiver(o, true);
+            if (!ch)
+                continue;
+            ch->val = router.outbuf[o] ? 1 : 0;
+            if (router.outbuf[o])
+                ch->msg = *router.outbuf[o];
+        }
+        for (int p = 0; p < kPorts; ++p) {
+            rin_nxt_[r][p].rdy =
+                router.inq[p].size() < static_cast<size_t>(nentries_)
+                    ? 1
+                    : 0;
+        }
+    }
+
+    rin_.swap(rin_nxt_);
+    sink_.swap(sink_nxt_);
+    ++now_;
+    ++stats_.cycles;
+}
+
+void
+RefMeshCL::cycle(uint64_t n)
+{
+    for (uint64_t i = 0; i < n; ++i)
+        cycle();
+}
+
+} // namespace refcpp
+} // namespace cmtl

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Hand-written C++ mesh network simulator (no framework).
+ *
+ * The performance baseline of the paper's Figure 14/15: a direct C++
+ * implementation of the same elastic-buffer XY mesh plus traffic
+ * harness, with plain structs and arrays instead of models, signals
+ * and simulator machinery. It consumes the identical
+ * TerminalTrafficGen stream and replicates the CL network's
+ * latency-insensitive channel timing register-for-register, so its
+ * cycle-by-cycle statistics match MeshTrafficTop(NetLevel::CL)
+ * exactly — the property the paper relied on ("verified to be
+ * cycle-exact with our PyMTL implementation").
+ */
+
+#ifndef CMTL_REFCPP_REFNET_H
+#define CMTL_REFCPP_REFNET_H
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "net/traffic.h"
+
+namespace cmtl {
+namespace refcpp {
+
+/** Hand-coded cycle-level mesh network + traffic harness. */
+class RefMeshCL
+{
+  public:
+    RefMeshCL(int nrouters, int nentries, double injection_rate,
+              uint64_t seed);
+
+    /** Advance one cycle. */
+    void cycle();
+    void cycle(uint64_t n);
+
+    void resetStats() { stats_ = net::NetStats{}; }
+    const net::NetStats &stats() const { return stats_; }
+    uint64_t inFlight() const { return inflight_; }
+    int numTerminals() const { return nrouters_; }
+
+  private:
+    static constexpr int kPorts = net::kMeshPorts;
+
+    struct Chan
+    {
+        uint8_t val = 0;
+        uint8_t rdy = 0;
+        uint32_t msg = 0;
+    };
+
+    struct Router
+    {
+        std::array<std::deque<uint32_t>, kPorts> inq;
+        std::array<std::deque<uint32_t>, kPorts> staged;
+        std::array<std::optional<uint32_t>, kPorts> outbuf;
+        std::array<int, kPorts> rr{};
+    };
+
+    uint32_t destOf(uint32_t msg) const;
+    uint64_t payloadOf(uint32_t msg) const;
+    uint32_t packMsg(uint32_t dest, uint32_t src, uint32_t opaque,
+                     uint64_t payload) const;
+
+    int nrouters_;
+    int dim_;
+    int nentries_;
+    uint64_t rate_fp_;
+    uint64_t now_ = 0;
+
+    // Field layout (identical to makeNetMsg).
+    int dest_lsb_, dest_bits_, src_lsb_, opq_lsb_, payload_bits_;
+
+    // Channels INTO router r, port p: val/msg written by the sender,
+    // rdy by the router. Terminal-out channels into the sinks.
+    std::vector<std::array<Chan, kPorts>> rin_, rin_nxt_;
+    std::vector<Chan> sink_, sink_nxt_;
+
+    std::vector<Router> routers_;
+    std::vector<net::TerminalTrafficGen> gens_;
+    std::vector<std::deque<uint32_t>> srcq_;
+
+    net::NetStats stats_;
+    uint64_t inflight_ = 0;
+};
+
+} // namespace refcpp
+} // namespace cmtl
+
+#endif // CMTL_REFCPP_REFNET_H

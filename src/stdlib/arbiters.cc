@@ -1,0 +1,49 @@
+#include "arbiters.h"
+
+namespace cmtl {
+namespace stdlib {
+
+RoundRobinArbiter::RoundRobinArbiter(Model *parent,
+                                     const std::string &name, int nreqs)
+    : Model(parent, name), reqs(this, "reqs", nreqs), en(this, "en", 1),
+      grants(this, "grants", nreqs),
+      priority_(this, "priority", bitsFor(nreqs)), nreqs_(nreqs)
+{
+    // Combinational grant: scan requesters starting from the priority
+    // pointer. Built as a priority mux over every pointer value.
+    auto &c = combinational("comb_grant");
+    IrExpr result = lit(nreqs, 0);
+    for (int p = nreqs - 1; p >= 0; --p) {
+        // Grant vector when the pointer is p: first asserted request
+        // among p, p+1, ..., wrapping around.
+        IrExpr pick = lit(nreqs, 0);
+        for (int k = nreqs - 1; k >= 0; --k) {
+            int idx = (p + k) % nreqs;
+            pick = mux(rd(reqs).bit(idx),
+                       lit(nreqs, uint64_t(1) << idx), pick);
+        }
+        result = mux(rd(priority_) == static_cast<uint64_t>(p), pick,
+                     result);
+    }
+    c.assign(grants, result);
+
+    // Pointer update: past the granted requester when a grant fires.
+    auto &t = tickRtl("seq_priority");
+    t.if_(rd(reset), [&] { t.assign(priority_, 0); },
+          [&] {
+              t.if_(rd(en) && rd(grants).reduceOr(), [&] {
+                  IrExpr next = rd(priority_);
+                  for (int i = 0; i < nreqs_; ++i) {
+                      next = mux(rd(grants).bit(i),
+                                 lit(priority_.nbits(),
+                                     static_cast<uint64_t>((i + 1) %
+                                                           nreqs_)),
+                                 next);
+                  }
+                  t.assign(priority_, next);
+              });
+          });
+}
+
+} // namespace stdlib
+} // namespace cmtl

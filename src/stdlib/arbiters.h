@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Round-robin arbiter (RTL, IR-based).
+ *
+ * Grants one of up to n requesters each cycle, rotating priority so
+ * the most recently granted requester has lowest priority next time.
+ * Used for router switch allocation and cache-port arbitration.
+ */
+
+#ifndef CMTL_STDLIB_ARBITERS_H
+#define CMTL_STDLIB_ARBITERS_H
+
+#include <string>
+
+#include "core/model.h"
+
+namespace cmtl {
+namespace stdlib {
+
+/** Rotating-priority arbiter with one-hot grants. */
+class RoundRobinArbiter : public Model
+{
+  public:
+    InPort reqs;   //!< bit i = requester i wants a grant
+    InPort en;     //!< grant fires this cycle: advance priority
+    OutPort grants; //!< one-hot grant vector (combinational)
+
+    RoundRobinArbiter(Model *parent, const std::string &name,
+                      int nreqs);
+
+    std::string
+    typeName() const override
+    {
+        return "RoundRobinArbiter_" + std::to_string(nreqs_);
+    }
+
+  private:
+    Wire priority_; //!< index of the highest-priority requester
+    int nreqs_;
+};
+
+} // namespace stdlib
+} // namespace cmtl
+
+#endif // CMTL_STDLIB_ARBITERS_H

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Basic RTL building blocks: registers, mux, pipelined multiplier.
+ *
+ * These are the CMTL equivalents of the PyMTL standard library models
+ * used throughout the paper's examples (Figure 2's Register and Mux,
+ * Figure 9's IntPipelinedMultiplier). All are IR-based and therefore
+ * translatable and specializable.
+ */
+
+#ifndef CMTL_STDLIB_BASIC_H
+#define CMTL_STDLIB_BASIC_H
+
+#include <deque>
+#include <string>
+
+#include "core/model.h"
+
+namespace cmtl {
+namespace stdlib {
+
+/** Positive-edge register. */
+class Register : public Model
+{
+  public:
+    InPort in_;
+    OutPort out;
+
+    Register(Model *parent, const std::string &name, int nbits)
+        : Model(parent, name), in_(this, "in_", nbits),
+          out(this, "out", nbits)
+    {
+        auto &b = tickRtl("seq_logic");
+        b.assign(out, rd(in_));
+    }
+
+    std::string
+    typeName() const override
+    {
+        return "Register_" + std::to_string(in_.nbits());
+    }
+};
+
+/** Register with synchronous reset to a constant. */
+class RegRst : public Model
+{
+  public:
+    InPort in_;
+    OutPort out;
+
+    RegRst(Model *parent, const std::string &name, int nbits,
+           uint64_t reset_value = 0)
+        : Model(parent, name), in_(this, "in_", nbits),
+          out(this, "out", nbits), reset_value_(reset_value)
+    {
+        auto &b = tickRtl("seq_logic");
+        b.if_(rd(reset),
+              [&] { b.assign(out, lit(nbits, reset_value)); },
+              [&] { b.assign(out, rd(in_)); });
+    }
+
+    std::string
+    typeName() const override
+    {
+        return "RegRst_" + std::to_string(in_.nbits()) + "_" +
+               std::to_string(reset_value_);
+    }
+
+  private:
+    uint64_t reset_value_;
+};
+
+/** Register with write enable. */
+class RegEn : public Model
+{
+  public:
+    InPort in_;
+    InPort en;
+    OutPort out;
+
+    RegEn(Model *parent, const std::string &name, int nbits)
+        : Model(parent, name), in_(this, "in_", nbits),
+          en(this, "en", 1), out(this, "out", nbits)
+    {
+        auto &b = tickRtl("seq_logic");
+        b.if_(rd(en), [&] { b.assign(out, rd(in_)); });
+    }
+
+    std::string
+    typeName() const override
+    {
+        return "RegEn_" + std::to_string(in_.nbits());
+    }
+};
+
+/** N-way multiplexer. */
+class Mux : public Model
+{
+  public:
+    std::deque<InPort> in_;
+    InPort sel;
+    OutPort out;
+
+    Mux(Model *parent, const std::string &name, int nbits, int nports)
+        : Model(parent, name), sel(this, "sel", bitsFor(nports)),
+          out(this, "out", nbits)
+    {
+        for (int i = 0; i < nports; ++i)
+            in_.emplace_back(this, "in_" + std::to_string(i), nbits);
+        auto &b = combinational("comb_logic");
+        IrExpr result = rd(in_[0]);
+        for (int i = nports - 1; i >= 1; --i) {
+            result = mux(rd(sel) == static_cast<uint64_t>(i),
+                         rd(in_[i]), result);
+        }
+        b.assign(out, result);
+    }
+
+    std::string
+    typeName() const override
+    {
+        return "Mux_" + std::to_string(out.nbits()) + "_" +
+               std::to_string(in_.size());
+    }
+};
+
+/**
+ * Fixed-latency pipelined integer multiplier (paper Figure 9).
+ *
+ * The product appears nstages cycles after the operands. There is no
+ * stall signal: surrounding control is responsible for scheduling,
+ * exactly like the paper's dot-product datapath.
+ */
+class IntPipelinedMultiplier : public Model
+{
+  public:
+    InPort op_a;
+    InPort op_b;
+    OutPort product;
+
+    IntPipelinedMultiplier(Model *parent, const std::string &name,
+                           int nbits, int nstages)
+        : Model(parent, name), op_a(this, "op_a", nbits),
+          op_b(this, "op_b", nbits), product(this, "product", nbits),
+          nstages_(nstages)
+    {
+        for (int i = 0; i < nstages - 1; ++i)
+            stages_.emplace_back(this, "stage" + std::to_string(i), nbits);
+
+        auto &b = tickRtl("pipe");
+        if (nstages == 1) {
+            b.assign(product, rd(op_a) * rd(op_b));
+        } else {
+            b.assign(stages_[0], rd(op_a) * rd(op_b));
+            for (int i = 1; i < nstages - 1; ++i)
+                b.assign(stages_[i], rd(stages_[i - 1]));
+            b.assign(product, rd(stages_[nstages - 2]));
+        }
+    }
+
+    std::string
+    typeName() const override
+    {
+        return "IntPipelinedMultiplier_" +
+               std::to_string(op_a.nbits()) + "_" +
+               std::to_string(nstages_);
+    }
+
+  private:
+    std::deque<Wire> stages_;
+    int nstages_;
+};
+
+} // namespace stdlib
+} // namespace cmtl
+
+#endif // CMTL_STDLIB_BASIC_H

@@ -1,0 +1,108 @@
+#include "queues.h"
+
+#include <stdexcept>
+
+namespace cmtl {
+namespace stdlib {
+
+BypassQueue1::BypassQueue1(Model *parent, const std::string &name,
+                           int nbits)
+    : Model(parent, name), enq(this, "enq", nbits), deq(this, "deq", nbits),
+      full_(this, "full", 1), entry_(this, "entry", nbits)
+{
+    // The forward (val/msg) and backward (rdy) paths live in separate
+    // blocks so queue chains stay acyclic at block granularity.
+    auto &cv = combinational("comb_val");
+    cv.assign(deq.val, rd(full_) || rd(enq.val));
+    cv.assign(deq.msg, mux(rd(full_), rd(entry_), rd(enq.msg)));
+    auto &cr = combinational("comb_rdy");
+    cr.assign(enq.rdy, !rd(full_));
+
+    auto &t = tickRtl("seq");
+    IrExpr do_enq = rd(enq.val) && rd(enq.rdy);
+    IrExpr do_deq = rd(deq.val) && rd(deq.rdy);
+    t.if_(rd(reset), [&] { t.assign(full_, 0); },
+          [&] {
+              // Occupied and drained -> empty; arriving without a
+              // same-cycle bypass -> occupied.
+              t.if_(rd(full_) && do_deq, [&] { t.assign(full_, 0); });
+              t.if_(!rd(full_) && do_enq && !do_deq, [&] {
+                  t.assign(full_, 1);
+                  t.assign(entry_, rd(enq.msg));
+              });
+          });
+}
+
+PipeQueue1::PipeQueue1(Model *parent, const std::string &name, int nbits)
+    : Model(parent, name), enq(this, "enq", nbits), deq(this, "deq", nbits),
+      full_(this, "full", 1), entry_(this, "entry", nbits)
+{
+    // Forward and backward paths split (see BypassQueue1).
+    auto &cv = combinational("comb_val");
+    cv.assign(deq.val, rd(full_));
+    cv.assign(deq.msg, rd(entry_));
+    // Accept while draining: rdy passes through combinationally.
+    auto &cr = combinational("comb_rdy");
+    cr.assign(enq.rdy, !rd(full_) || rd(deq.rdy));
+
+    auto &t = tickRtl("seq");
+    IrExpr do_enq = rd(enq.val) && rd(enq.rdy);
+    IrExpr do_deq = rd(deq.val) && rd(deq.rdy);
+    t.if_(rd(reset), [&] { t.assign(full_, 0); },
+          [&] {
+              t.if_(do_deq && !do_enq, [&] { t.assign(full_, 0); });
+              t.if_(do_enq, [&] {
+                  t.assign(full_, 1);
+                  t.assign(entry_, rd(enq.msg));
+              });
+          });
+}
+
+RtlQueue::RtlQueue(Model *parent, const std::string &name, int nbits,
+                   int nentries)
+    : Model(parent, name), enq(this, "enq", nbits), deq(this, "deq", nbits),
+      count_(this, "count", bitsFor(nentries + 1)), nentries_(nentries)
+{
+    if (nentries < 1)
+        throw std::invalid_argument("RtlQueue needs >= 1 entries");
+    for (int i = 0; i < nentries; ++i)
+        entries_.emplace_back(this, "entry" + std::to_string(i), nbits);
+
+    // Outputs depend only on registered state: no val/rdy cycles.
+    auto &c = combinational("comb");
+    c.assign(deq.val, rd(count_) != 0);
+    c.assign(deq.msg, rd(entries_[0]));
+    c.assign(enq.rdy, rd(count_) < static_cast<uint64_t>(nentries_));
+
+    auto &t = tickRtl("seq");
+    t.if_(rd(reset), [&] { t.assign(count_, 0); },
+          [&] {
+              IrExpr do_deq = rd(deq.val) && rd(deq.rdy);
+              IrExpr do_enq = rd(enq.val) && rd(enq.rdy);
+              int cw = count_.nbits();
+              t.assign(count_, rd(count_) + do_enq.zext(cw) -
+                                   do_deq.zext(cw));
+              // Head-shifting storage: on dequeue everything moves
+              // down one slot; a simultaneous enqueue lands behind the
+              // last remaining element.
+              for (int i = 0; i < nentries_; ++i) {
+                  IrExpr shifted =
+                      (i + 1 < nentries_) ? rd(entries_[i + 1])
+                                          : rd(entries_[i]);
+                  IrExpr after_deq =
+                      mux(do_enq &&
+                              (rd(count_) ==
+                               static_cast<uint64_t>(i + 1)),
+                          rd(enq.msg), shifted);
+                  IrExpr after_enq =
+                      mux(do_enq &&
+                              (rd(count_) == static_cast<uint64_t>(i)),
+                          rd(enq.msg), rd(entries_[i]));
+                  t.assign(entries_[i],
+                           mux(do_deq, after_deq, after_enq));
+              }
+          });
+}
+
+} // namespace stdlib
+} // namespace cmtl

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Val/rdy queues.
+ *
+ * RtlQueue is a shift-register FIFO with val/rdy interfaces on both
+ * sides — the standard normal queue used for router input buffering
+ * and elastic-buffer flow control. It is IR-based, so it translates to
+ * Verilog and specializes under SimJIT. Enqueue readiness depends only
+ * on registered state, so composing queues never creates
+ * combinational val/rdy cycles.
+ */
+
+#ifndef CMTL_STDLIB_QUEUES_H
+#define CMTL_STDLIB_QUEUES_H
+
+#include <deque>
+#include <string>
+
+#include "stdlib/valrdy.h"
+
+namespace cmtl {
+namespace stdlib {
+
+/**
+ * Single-entry bypass queue (PyMTL's SingleElementBypassQueue): an
+ * arriving message may combinationally bypass to the dequeue side in
+ * the same cycle when the buffer is empty — zero-cycle latency, but a
+ * combinational val path from enq to deq.
+ */
+class BypassQueue1 : public Model
+{
+  public:
+    InValRdy enq;
+    OutValRdy deq;
+
+    BypassQueue1(Model *parent, const std::string &name, int nbits);
+
+    std::string
+    typeName() const override
+    {
+        return "BypassQueue1_" + std::to_string(enq.msg.nbits());
+    }
+
+  private:
+    Wire full_;
+    Wire entry_;
+};
+
+/**
+ * Single-entry pipelined queue (PyMTL's SingleElementPipelinedQueue):
+ * the buffer re-fills in the same cycle it drains, sustaining one
+ * message per cycle — a combinational rdy path from deq to enq.
+ */
+class PipeQueue1 : public Model
+{
+  public:
+    InValRdy enq;
+    OutValRdy deq;
+
+    PipeQueue1(Model *parent, const std::string &name, int nbits);
+
+    std::string
+    typeName() const override
+    {
+        return "PipeQueue1_" + std::to_string(enq.msg.nbits());
+    }
+
+  private:
+    Wire full_;
+    Wire entry_;
+};
+
+/** Shift-register FIFO with val/rdy enqueue/dequeue interfaces. */
+class RtlQueue : public Model
+{
+  public:
+    InValRdy enq;
+    OutValRdy deq;
+
+    /**
+     * @param nbits message width
+     * @param nentries queue capacity (>= 1)
+     */
+    RtlQueue(Model *parent, const std::string &name, int nbits,
+             int nentries);
+
+    int numEntries() const { return nentries_; }
+
+    std::string
+    typeName() const override
+    {
+        return "RtlQueue_" + std::to_string(enq.msg.nbits()) + "_" +
+               std::to_string(nentries_);
+    }
+
+  private:
+    std::deque<Wire> entries_;
+    Wire count_;
+    int nentries_;
+};
+
+} // namespace stdlib
+} // namespace cmtl
+
+#endif // CMTL_STDLIB_QUEUES_H

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Request/response port bundles and standard memory message formats
+ * (PyMTL's ReqRespBundles and mem msgs).
+ *
+ * A *child* bundle is the serving side (requests in, responses out); a
+ * *parent* bundle is the initiating side (requests out, responses in),
+ * matching the paper's ChildReqRespBundle / ParentReqRespBundle.
+ */
+
+#ifndef CMTL_STDLIB_REQRESP_H
+#define CMTL_STDLIB_REQRESP_H
+
+#include <string>
+
+#include "core/bitstruct.h"
+#include "stdlib/valrdy.h"
+
+namespace cmtl {
+
+/** Message formats of a request/response interface. */
+struct ReqRespIfcTypes
+{
+    BitStructLayout req;
+    BitStructLayout resp;
+};
+
+/** Standard memory interface: 1-bit type, 27-bit addr, 32-bit data. */
+inline ReqRespIfcTypes
+memIfcTypes()
+{
+    return ReqRespIfcTypes{
+        BitStructLayout("MemReq",
+                        {{"type", 1}, {"addr", 27}, {"data", 32}}),
+        BitStructLayout("MemResp", {{"type", 1}, {"data", 32}})};
+}
+
+/** Memory request type field values. */
+enum class MemReqType : uint64_t { Read = 0, Write = 1 };
+
+/** Standard accelerator control interface: 3-bit reg id + data. */
+inline ReqRespIfcTypes
+cpuIfcTypes()
+{
+    return ReqRespIfcTypes{
+        BitStructLayout("CpuReq", {{"ctrl_msg", 3}, {"data", 32}}),
+        BitStructLayout("CpuResp", {{"data", 32}})};
+}
+
+/** Serving side: requests arrive, responses leave. */
+struct ChildReqRespBundle
+{
+    ReqRespIfcTypes types;
+    InValRdy req;
+    OutValRdy resp;
+
+    ChildReqRespBundle(Model *owner, const std::string &name,
+                       const ReqRespIfcTypes &ifc_types)
+        : types(ifc_types), req(owner, name + "_req", ifc_types.req.nbits()),
+          resp(owner, name + "_resp", ifc_types.resp.nbits())
+    {}
+};
+
+/** Initiating side: requests leave, responses arrive. */
+struct ParentReqRespBundle
+{
+    ReqRespIfcTypes types;
+    OutValRdy req;
+    InValRdy resp;
+
+    ParentReqRespBundle(Model *owner, const std::string &name,
+                        const ReqRespIfcTypes &ifc_types)
+        : types(ifc_types), req(owner, name + "_req", ifc_types.req.nbits()),
+          resp(owner, name + "_resp", ifc_types.resp.nbits())
+    {}
+};
+
+/** Connect an initiator to a server within @p scope. */
+inline void
+connectReqResp(Model &scope, ParentReqRespBundle &parent,
+               ChildReqRespBundle &child)
+{
+    connectValRdy(scope, parent.req, child.req);
+    connectValRdy(scope, child.resp, parent.resp);
+}
+
+/** Pass a serving bundle through a hierarchy level. */
+inline void
+connectReqResp(Model &scope, ChildReqRespBundle &outer,
+               ChildReqRespBundle &inner)
+{
+    connectValRdy(scope, outer.req, inner.req);
+    connectValRdy(scope, inner.resp, outer.resp);
+}
+
+/** Pass an initiating bundle through a hierarchy level. */
+inline void
+connectReqResp(Model &scope, ParentReqRespBundle &inner,
+               ParentReqRespBundle &outer)
+{
+    connectValRdy(scope, inner.req, outer.req);
+    connectValRdy(scope, outer.resp, inner.resp);
+}
+
+/** Build a memory read request. */
+inline Bits
+makeMemReq(const BitStructLayout &layout, MemReqType type, uint64_t addr,
+           uint64_t data = 0)
+{
+    return layout.pack({static_cast<uint64_t>(type), addr, data});
+}
+
+} // namespace cmtl
+
+#endif // CMTL_STDLIB_REQRESP_H

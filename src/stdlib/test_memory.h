@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Functional-level test memory with configurable latency and ports.
+ *
+ * A magic word-addressed memory serving the standard memory interface
+ * (see reqresp.h) on one or more ports. Requests complete after a
+ * configurable pipeline latency; each port is fully independent and
+ * pipelined, sustaining one request per cycle — the memory model the
+ * paper composes with FL/CL/RTL processors and accelerators.
+ */
+
+#ifndef CMTL_STDLIB_TEST_MEMORY_H
+#define CMTL_STDLIB_TEST_MEMORY_H
+
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "stdlib/adapters.h"
+#include "stdlib/reqresp.h"
+
+namespace cmtl {
+namespace stdlib {
+
+/** Magic multi-port memory (FL). */
+class TestMemory : public Model
+{
+  public:
+    std::deque<ChildReqRespBundle> ifc; //!< one serving bundle per port
+
+    /**
+     * @param nports number of independent memory ports
+     * @param latency cycles from request acceptance to response
+     *                validity (>= 1)
+     */
+    TestMemory(Model *parent, const std::string &name, int nports = 1,
+               int latency = 1);
+
+    /** Host access: read the 32-bit word at byte address @p addr. */
+    uint32_t readWord(uint64_t addr) const;
+    /** Host access: write the 32-bit word at byte address @p addr. */
+    void writeWord(uint64_t addr, uint32_t value);
+
+    /** Total requests served (all ports). */
+    uint64_t numRequests() const { return num_requests_; }
+
+    std::string lineTrace() const override;
+
+  private:
+    struct Pending
+    {
+        uint64_t due_cycle;
+        Bits resp;
+    };
+
+    std::deque<ChildReqRespQueueAdapter> adapters_;
+    std::vector<std::deque<Pending>> pending_;
+    std::unordered_map<uint64_t, uint32_t> words_;
+    ReqRespIfcTypes types_;
+    int latency_;
+    uint64_t now_ = 0;
+    uint64_t num_requests_ = 0;
+};
+
+} // namespace stdlib
+} // namespace cmtl
+
+#endif // CMTL_STDLIB_TEST_MEMORY_H

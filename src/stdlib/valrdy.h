@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Latency-insensitive val/rdy port bundles (PyMTL's ValRdyBundles).
+ *
+ * Consistent use of val/rdy interfaces at module boundaries is the key
+ * mechanism that lets FL, CL and RTL implementations of a component be
+ * swapped freely: a message transfers on a cycle where both val and
+ * rdy are high, and backpressure (rdy low) naturally implements stall
+ * logic at every abstraction level.
+ */
+
+#ifndef CMTL_STDLIB_VALRDY_H
+#define CMTL_STDLIB_VALRDY_H
+
+#include <string>
+
+#include "core/model.h"
+
+namespace cmtl {
+
+/** Receiver-side bundle: msg/val in, rdy out. */
+struct InValRdy
+{
+    InPort msg;
+    InPort val;
+    OutPort rdy;
+
+    InValRdy(Model *owner, const std::string &name, int nbits)
+        : msg(owner, name + "_msg", nbits), val(owner, name + "_val", 1),
+          rdy(owner, name + "_rdy", 1)
+    {}
+
+    /** True when a message transfers this cycle (simulation-time). */
+    bool
+    fire() const
+    {
+        return val.u64() && rdy.u64();
+    }
+};
+
+/** Sender-side bundle: msg/val out, rdy in. */
+struct OutValRdy
+{
+    OutPort msg;
+    OutPort val;
+    InPort rdy;
+
+    OutValRdy(Model *owner, const std::string &name, int nbits)
+        : msg(owner, name + "_msg", nbits), val(owner, name + "_val", 1),
+          rdy(owner, name + "_rdy", 1)
+    {}
+
+    bool
+    fire() const
+    {
+        return val.u64() && rdy.u64();
+    }
+};
+
+/** Connect a sender bundle to a receiver bundle within @p scope. */
+inline void
+connectValRdy(Model &scope, OutValRdy &out, InValRdy &in)
+{
+    scope.connect(out.msg, in.msg);
+    scope.connect(out.val, in.val);
+    scope.connect(out.rdy, in.rdy);
+}
+
+/** Pass a parent-facing input bundle through to a child's input. */
+inline void
+connectValRdy(Model &scope, InValRdy &outer, InValRdy &inner)
+{
+    scope.connect(outer.msg, inner.msg);
+    scope.connect(outer.val, inner.val);
+    scope.connect(outer.rdy, inner.rdy);
+}
+
+/** Pass a child's output bundle through to a parent-facing output. */
+inline void
+connectValRdy(Model &scope, OutValRdy &inner, OutValRdy &outer)
+{
+    scope.connect(inner.msg, outer.msg);
+    scope.connect(inner.val, outer.val);
+    scope.connect(inner.rdy, outer.rdy);
+}
+
+} // namespace cmtl
+
+#endif // CMTL_STDLIB_VALRDY_H

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Two-requester memory-port arbiter.
+ *
+ * The processor and the accelerator share one L1 data cache port
+ * (paper Figure 5a); this round-robin arbiter multiplexes their
+ * request streams and routes responses back to the owning requester.
+ */
+
+#ifndef CMTL_TILE_ARBITER_H
+#define CMTL_TILE_ARBITER_H
+
+#include <deque>
+#include <memory>
+
+#include "stdlib/adapters.h"
+#include "stdlib/reqresp.h"
+
+namespace cmtl {
+namespace tile {
+
+/** Round-robin 2-to-1 request/response arbiter. */
+class MemArbiter : public Model
+{
+  public:
+    MemArbiter(Model *parent, const std::string &name);
+
+    ChildReqRespBundle &port(int index) { return child_[index]; }
+    ParentReqRespBundle &memPort() { return *parent_ifc_; }
+
+  private:
+    std::deque<ChildReqRespBundle> child_;
+    std::deque<stdlib::ChildReqRespQueueAdapter> adapters_;
+    std::unique_ptr<ParentReqRespBundle> parent_ifc_;
+    std::unique_ptr<stdlib::ParentReqRespQueueAdapter> mem_;
+    std::deque<int> owners_;
+    int rr_ = 0;
+};
+
+} // namespace tile
+} // namespace cmtl
+
+#endif // CMTL_TILE_ARBITER_H

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * L1 caches at three abstraction levels.
+ *
+ * All three share the same serving/initiating interface pair, so any
+ * level drops into the tile:
+ *
+ *  - CacheFL: a magic pass-through — functional behaviour, no cache
+ *    timing (every request forwards to memory).
+ *  - CacheCL: direct-mapped, 4-word lines, write-through/no-allocate,
+ *    cycle-level timing with multi-cycle refills.
+ *  - CacheRTL: direct-mapped, 1-word lines, write-through/no-allocate
+ *    FSM built from IR with tag/data memory arrays; translatable and
+ *    specializable.
+ */
+
+#ifndef CMTL_TILE_CACHE_H
+#define CMTL_TILE_CACHE_H
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "stdlib/adapters.h"
+#include "stdlib/reqresp.h"
+
+namespace cmtl {
+namespace tile {
+
+/** Common cache interface. */
+class CacheBase : public Model
+{
+  public:
+    ChildReqRespBundle proc_ifc; //!< from the processor / arbiter
+    ParentReqRespBundle mem_ifc; //!< to main memory
+
+    virtual uint64_t numAccesses() const { return accesses_; }
+    virtual uint64_t numMisses() const { return misses_; }
+
+  protected:
+    CacheBase(Model *parent, const std::string &name)
+        : Model(parent, name), proc_ifc(this, "proc_ifc", memIfcTypes()),
+          mem_ifc(this, "mem_ifc", memIfcTypes())
+    {}
+
+    uint64_t accesses_ = 0;
+    uint64_t misses_ = 0;
+};
+
+/** FL pass-through "cache". */
+class CacheFL : public CacheBase
+{
+  public:
+    CacheFL(Model *parent, const std::string &name);
+
+  private:
+    std::unique_ptr<stdlib::ChildReqRespQueueAdapter> proc_;
+    std::unique_ptr<stdlib::ParentReqRespQueueAdapter> mem_;
+};
+
+/** CL direct-mapped blocking cache, 4-word lines, write-through. */
+class CacheCL : public CacheBase
+{
+  public:
+    /** @param nlines number of 16-byte lines (power of two) */
+    CacheCL(Model *parent, const std::string &name, int nlines = 64);
+
+    std::string lineTrace() const override;
+
+  private:
+    static constexpr int kWordsPerLine = 4;
+
+    struct Line
+    {
+        bool valid = false;
+        uint32_t tag = 0;
+        uint32_t data[kWordsPerLine] = {};
+    };
+
+    std::unique_ptr<stdlib::ChildReqRespQueueAdapter> proc_;
+    std::unique_ptr<stdlib::ParentReqRespQueueAdapter> mem_;
+
+    std::vector<Line> lines_;
+    int nlines_;
+    // Refill state.
+    bool refilling_ = false;
+    int refill_received_ = 0;
+    uint32_t refill_addr_ = 0; //!< original (word) request address
+    uint32_t refill_data_[kWordsPerLine] = {};
+    // In-flight memory responses: refill word (>=0) or write ack (-1).
+    std::deque<int> mem_pending_;
+    int outstanding_writes_ = 0;
+};
+
+/** RTL direct-mapped cache FSM with memory arrays. */
+class CacheRTL : public CacheBase
+{
+  public:
+    /** @param nlines number of 4-byte lines (power of two) */
+    CacheRTL(Model *parent, const std::string &name, int nlines = 64);
+
+    uint64_t numAccesses() const override;
+    uint64_t numMisses() const override;
+
+    std::string
+    typeName() const override
+    {
+        return "CacheRTL_" + std::to_string(nlines_);
+    }
+
+  private:
+    int nlines_;
+    MemArray tags_; //!< {valid, tag}
+    MemArray data_;
+    Wire state_;
+    Wire req_r_;    //!< latched request
+    Wire resp_r_;   //!< prepared response
+    Wire hit_;
+    Wire acc_cnt_, miss_cnt_;
+    Wire fill_issued_, fill_got_; //!< pipelined refill counters
+};
+
+} // namespace tile
+} // namespace cmtl
+
+#endif // CMTL_TILE_CACHE_H

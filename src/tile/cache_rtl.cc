@@ -1,0 +1,185 @@
+#include "cache.h"
+
+namespace cmtl {
+namespace tile {
+
+namespace {
+constexpr uint64_t kIdle = 0;
+constexpr uint64_t kResp = 1;  //!< hit response ready (can pipeline)
+constexpr uint64_t kFill = 2;  //!< pipelined 4-word line refill
+constexpr uint64_t kWReq = 3;  //!< issue write-through
+constexpr uint64_t kWWait = 4; //!< wait write ack
+constexpr uint64_t kMResp = 5; //!< miss/write response ready
+} // namespace
+
+CacheRTL::CacheRTL(Model *parent, const std::string &name, int nlines)
+    : CacheBase(parent, name), nlines_(nlines),
+      tags_(this, "tags", 24 - bitsFor(nlines), nlines),
+      data_(this, "data", 32, nlines * 4), state_(this, "state", 3),
+      req_r_(this, "req_r", proc_ifc.types.req.nbits()),
+      resp_r_(this, "resp_r", proc_ifc.types.resp.nbits()),
+      hit_(this, "hit", 1), acc_cnt_(this, "acc_cnt", 32),
+      miss_cnt_(this, "miss_cnt", 32),
+      fill_issued_(this, "fill_issued", 3),
+      fill_got_(this, "fill_got", 3)
+{
+    const int ib = bitsFor(nlines); // index bits
+    const int tag_bits = 23 - ib;   // 27-bit addr, 16-byte lines
+    const int addr_lsb = 32;        // addr position in the request
+    const int type_bit = 59;
+
+    // Live-request fields: the hit check runs combinationally on the
+    // incoming message so hits pipeline (a new request is accepted
+    // while the previous response fires).
+    auto live_word = [&] {
+        return rd(proc_ifc.req.msg).slice(addr_lsb + 2, 2);
+    };
+    auto live_idx = [&] {
+        return rd(proc_ifc.req.msg).slice(addr_lsb + 4, ib);
+    };
+    auto live_tag = [&] {
+        return rd(proc_ifc.req.msg)
+            .slice(addr_lsb + 4 + ib, tag_bits);
+    };
+    auto live_write = [&] { return rd(proc_ifc.req.msg).bit(type_bit); };
+    auto live_data = [&] { return rd(proc_ifc.req.msg).slice(0, 32); };
+
+    // Latched-request fields (miss handling).
+    auto req_word = [&] { return rd(req_r_).slice(addr_lsb + 2, 2); };
+    auto req_idx = [&] { return rd(req_r_).slice(addr_lsb + 4, ib); };
+    auto req_tag = [&] {
+        return rd(req_r_).slice(addr_lsb + 4 + ib, tag_bits);
+    };
+    auto req_line_addr = [&] {
+        // Byte address of the line base: {tag, idx, 0000}.
+        return cat({req_tag(), req_idx(), lit(4, 0)});
+    };
+
+    auto &hc = combinational("hit_comb");
+    {
+        IrExpr entry = hc.let("entry", aread(tags_, live_idx()));
+        hc.assign(hit_, entry.bit(tag_bits) &&
+                            (entry.slice(0, tag_bits) == live_tag()));
+    }
+
+    auto &rq = combinational("req_comb");
+    {
+        IrExpr st = rd(state_);
+        IrExpr resp_firing =
+            ((st == kResp) || (st == kMResp)) && rd(proc_ifc.resp.rdy);
+        rq.assign(proc_ifc.req.rdy,
+                  (st == kIdle) || ((st == kResp) && resp_firing));
+        rq.assign(proc_ifc.resp.val, (st == kResp) || (st == kMResp));
+        rq.assign(proc_ifc.resp.msg, rd(resp_r_));
+        // Refill requests stream one word per cycle; the write-through
+        // path forwards the original request.
+        IrExpr fill_addr =
+            rq.let("fill_addr",
+                   req_line_addr() +
+                       (rd(fill_issued_).zext(27) << lit(2, 2)));
+        rq.assign(mem_ifc.req.val,
+                  ((st == kFill) && (rd(fill_issued_) < 4u)) ||
+                      (st == kWReq));
+        rq.assign(mem_ifc.req.msg,
+                  mux(st == kWReq, rd(req_r_),
+                      cat({lit(1, 0), fill_addr(26, 0), lit(32, 0)})));
+        rq.assign(mem_ifc.resp.rdy, (st == kFill) || (st == kWWait));
+    }
+
+    auto &t = tickRtl("fsm");
+    t.if_(rd(reset), [&] {
+        t.assign(state_, kIdle);
+        t.assign(acc_cnt_, 0);
+        t.assign(miss_cnt_, 0);
+    },
+    [&] {
+        IrExpr st = rd(state_);
+        IrExpr req_fire =
+            rd(proc_ifc.req.val) && rd(proc_ifc.req.rdy);
+        IrExpr resp_fire =
+            rd(proc_ifc.resp.val) && rd(proc_ifc.resp.rdy);
+
+        // Accept path (from IDLE, or pipelined from a draining hit).
+        auto accept = [&] {
+            t.assign(acc_cnt_, rd(acc_cnt_) + 1u);
+            t.if_(live_write(), [&] {
+                t.if_(rd(hit_), [&] {
+                    t.writeArray(data_, cat(live_idx(), live_word()),
+                                 live_data());
+                });
+                t.assign(req_r_, rd(proc_ifc.req.msg));
+                t.assign(state_, kWReq);
+            },
+            [&] {
+                t.if_(rd(hit_), [&] {
+                    t.assign(resp_r_,
+                             cat(lit(1, 0),
+                                 aread(data_, cat(live_idx(),
+                                                  live_word()))));
+                    t.assign(state_, kResp);
+                },
+                [&] {
+                    t.assign(miss_cnt_, rd(miss_cnt_) + 1u);
+                    t.assign(req_r_, rd(proc_ifc.req.msg));
+                    t.assign(fill_issued_, 0);
+                    t.assign(fill_got_, 0);
+                    t.assign(state_, kFill);
+                });
+            });
+        };
+
+        t.if_(st == kIdle, [&] { t.if_(req_fire, accept); });
+        t.if_(st == kResp, [&] {
+            t.if_(resp_fire, [&] {
+                t.assign(state_, kIdle);
+                t.if_(req_fire, accept); // pipelined accept
+            });
+        });
+
+        // Pipelined refill: issue up to one read per cycle while
+        // collecting in-order responses into the line.
+        t.if_(st == kFill, [&] {
+            t.if_(rd(mem_ifc.req.val) && rd(mem_ifc.req.rdy), [&] {
+                t.assign(fill_issued_, rd(fill_issued_) + 1u);
+            });
+            t.if_(rd(mem_ifc.resp.val), [&] {
+                IrExpr word = rd(fill_got_).slice(0, 2);
+                IrExpr rdata = rd(mem_ifc.resp.msg).slice(0, 32);
+                t.writeArray(data_, cat(req_idx(), word), rdata);
+                t.assign(fill_got_, rd(fill_got_) + 1u);
+                // The requested word forms the response.
+                t.if_(word == req_word(), [&] {
+                    t.assign(resp_r_, cat(lit(1, 0), rdata));
+                });
+                t.if_(rd(fill_got_) == 3u, [&] {
+                    t.writeArray(tags_, req_idx(),
+                                 cat(lit(1, 1), req_tag()));
+                    t.assign(state_, kMResp);
+                });
+            });
+        });
+        t.if_(st == kWReq && rd(mem_ifc.req.rdy),
+              [&] { t.assign(state_, kWWait); });
+        t.if_(st == kWWait && rd(mem_ifc.resp.val), [&] {
+            t.assign(resp_r_, cat(lit(1, 1), lit(32, 0)));
+            t.assign(state_, kMResp);
+        });
+        t.if_(st == kMResp && resp_fire,
+              [&] { t.assign(state_, kIdle); });
+    });
+}
+
+uint64_t
+CacheRTL::numAccesses() const
+{
+    return acc_cnt_.value().toUint64();
+}
+
+uint64_t
+CacheRTL::numMisses() const
+{
+    return miss_cnt_.value().toUint64();
+}
+
+} // namespace tile
+} // namespace cmtl

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Dot-product accelerator coprocessor at three abstraction levels
+ * (paper Figures 7, 8, 9).
+ *
+ * Protocol (control register transfers over cpu_ifc):
+ *   ctrl 1 = vector size, ctrl 2 = src0 base address,
+ *   ctrl 3 = src1 base address, ctrl 0 = go (responds with result).
+ *
+ *  - DotProductFL: unpipelined functional model; fetches both source
+ *    vectors one element at a time then computes the dot product with
+ *    a host library call (std::inner_product, the numpy.dot analog).
+ *  - DotProductCL: cycle-approximate: pre-generates the interleaved
+ *    address stream and pipelines memory requests as backpressure
+ *    allows (paper Figure 8).
+ *  - DotProductRTL: four-stage datapath — M (address generation),
+ *    R (response capture), X (4-stage pipelined multiply),
+ *    A (accumulate) — with full control FSM (paper Figure 9).
+ */
+
+#ifndef CMTL_TILE_DOTPROD_H
+#define CMTL_TILE_DOTPROD_H
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "stdlib/adapters.h"
+#include "stdlib/basic.h"
+#include "stdlib/reqresp.h"
+
+namespace cmtl {
+namespace tile {
+
+/** Common accelerator interface. */
+class DotProductBase : public Model
+{
+  public:
+    ChildReqRespBundle cpu_ifc;
+    ParentReqRespBundle mem_ifc;
+
+  protected:
+    DotProductBase(Model *parent, const std::string &name)
+        : Model(parent, name), cpu_ifc(this, "cpu_ifc", cpuIfcTypes()),
+          mem_ifc(this, "mem_ifc", memIfcTypes())
+    {}
+};
+
+/** Functional-level accelerator (paper Figure 7). */
+class DotProductFL : public DotProductBase
+{
+  public:
+    DotProductFL(Model *parent, const std::string &name);
+    std::string lineTrace() const override;
+
+  private:
+    std::unique_ptr<stdlib::ChildReqRespQueueAdapter> cpu_;
+    std::unique_ptr<stdlib::ParentReqRespQueueAdapter> mem_;
+
+    uint32_t size_ = 0, src0_ = 0, src1_ = 0;
+    bool running_ = false;
+    bool waiting_resp_ = false;
+    uint32_t fetch_index_ = 0;
+    std::vector<uint32_t> elems_; //!< src0 then src1 values
+};
+
+/** Cycle-level accelerator with pipelined requests (paper Figure 8). */
+class DotProductCL : public DotProductBase
+{
+  public:
+    DotProductCL(Model *parent, const std::string &name);
+    std::string lineTrace() const override;
+
+  private:
+    std::unique_ptr<stdlib::ChildReqRespQueueAdapter> cpu_;
+    std::unique_ptr<stdlib::ParentReqRespQueueAdapter> mem_;
+
+    uint32_t size_ = 0, src0_ = 0, src1_ = 0;
+    bool go_ = false;
+    std::deque<uint32_t> addrs_;
+    std::vector<uint32_t> data_;
+};
+
+/** RTL accelerator (paper Figure 9). */
+class DotProductRTL : public DotProductBase
+{
+  public:
+    DotProductRTL(Model *parent, const std::string &name);
+
+    std::string
+    typeName() const override
+    {
+        return "DotProductRTL";
+    }
+
+  private:
+    static constexpr int kMulStages = 4;
+
+    // Configuration registers.
+    Wire size_, src0_, src1_;
+    // Control.
+    Wire state_;
+    Wire req_cnt_;  //!< requests issued (0 .. 2*size)
+    Wire resp_cnt_; //!< responses received
+    Wire done_cnt_; //!< accumulated products
+    // Datapath.
+    Wire src0_data_r_, src1_data_r_;
+    Wire accum_;
+    Wire mul_valid_; //!< kMulStages-deep valid shift register
+    stdlib::IntPipelinedMultiplier mul_;
+    Wire mul_a_, mul_b_, mul_out_;
+};
+
+} // namespace tile
+} // namespace cmtl
+
+#endif // CMTL_TILE_DOTPROD_H

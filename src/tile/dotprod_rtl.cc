@@ -1,0 +1,128 @@
+#include "dotprod.h"
+
+namespace cmtl {
+namespace tile {
+
+namespace {
+constexpr uint64_t kIdle = 0;
+constexpr uint64_t kRun = 1;
+constexpr uint64_t kResp = 2;
+} // namespace
+
+DotProductRTL::DotProductRTL(Model *parent, const std::string &name)
+    : DotProductBase(parent, name), size_(this, "size", 32),
+      src0_(this, "src0", 32), src1_(this, "src1", 32),
+      state_(this, "state", 2), req_cnt_(this, "req_cnt", 32),
+      resp_cnt_(this, "resp_cnt", 32), done_cnt_(this, "done_cnt", 32),
+      src0_data_r_(this, "src0_data_r", 32),
+      src1_data_r_(this, "src1_data_r", 32), accum_(this, "accum", 32),
+      mul_valid_(this, "mul_valid", kMulStages),
+      mul_(this, "mul", 32, kMulStages), mul_a_(this, "mul_a", 32),
+      mul_b_(this, "mul_b", 32), mul_out_(this, "mul_out", 32)
+{
+    const int addr_bits = mem_ifc.types.req.field("addr").nbits;
+    connect(mul_a_, mul_.op_a);
+    connect(mul_b_, mul_.op_b);
+    connect(mul_out_, mul_.product);
+
+    // ----------------------------------------------------- interface
+    auto &rq = combinational("req_comb");
+    {
+        IrExpr st = rd(state_);
+        rq.assign(cpu_ifc.req.rdy, st == kIdle);
+        rq.assign(cpu_ifc.resp.val, st == kResp);
+        rq.assign(cpu_ifc.resp.msg, rd(accum_));
+
+        // Stage M: address generation (paper Fig 9 stage_comb_M).
+        IrExpr base = mux(rd(req_cnt_).bit(0), rd(src1_), rd(src0_));
+        IrExpr elem = rq.let("elem", rd(req_cnt_) >> 1);
+        IrExpr addr = rq.let("addr", base + (elem << lit(3, 2)));
+        rq.assign(mem_ifc.req.val,
+                  (st == kRun) &&
+                      (rd(req_cnt_) < (rd(size_) << lit(2, 1))));
+        rq.assign(mem_ifc.req.msg,
+                  cat({lit(1, 0), addr(addr_bits - 1, 0), lit(32, 0)}));
+        rq.assign(mem_ifc.resp.rdy, st == kRun);
+
+        // Stage X operands: the captured even element and the live
+        // odd-response data.
+        rq.assign(mul_a_, rd(src0_data_r_));
+        rq.assign(mul_b_, rd(mem_ifc.resp.msg)(31, 0));
+    }
+
+    // ----------------------------------------------------------- FSM
+    auto &t = tickRtl("ctrl");
+    t.if_(rd(reset), [&] {
+        t.assign(state_, kIdle);
+        t.assign(mul_valid_, 0);
+    },
+    [&] {
+        IrExpr st = rd(state_);
+
+        t.if_(st == kIdle, [&] {
+            t.if_(rd(cpu_ifc.req.val) && rd(cpu_ifc.req.rdy), [&] {
+                IrExpr ctrl = rd(cpu_ifc.req.msg)(34, 32);
+                IrExpr data = rd(cpu_ifc.req.msg)(31, 0);
+                t.if_(ctrl == 1u, [&] { t.assign(size_, data); });
+                t.if_(ctrl == 2u, [&] { t.assign(src0_, data); });
+                t.if_(ctrl == 3u, [&] { t.assign(src1_, data); });
+                t.if_(ctrl == 0u, [&] {
+                    t.assign(req_cnt_, 0);
+                    t.assign(resp_cnt_, 0);
+                    t.assign(done_cnt_, 0);
+                    t.assign(accum_, 0);
+                    t.assign(mul_valid_, 0);
+                    t.if_(rd(size_) == 0u,
+                          [&] { t.assign(state_, kResp); },
+                          [&] { t.assign(state_, kRun); });
+                });
+            });
+        });
+
+        t.if_(st == kRun, [&] {
+            // Stage M: request issue.
+            t.if_(rd(mem_ifc.req.val) && rd(mem_ifc.req.rdy),
+                  [&] { t.assign(req_cnt_, rd(req_cnt_) + 1u); });
+
+            // Stage R: response capture; odd responses launch the
+            // multiplier (its operands are sampled this edge).
+            IrExpr resp_fire =
+                rd(mem_ifc.resp.val) && rd(mem_ifc.resp.rdy);
+            IrExpr is_odd = rd(resp_cnt_).bit(0);
+            t.if_(resp_fire, [&] {
+                t.if_(!is_odd, [&] {
+                    t.assign(src0_data_r_,
+                             rd(mem_ifc.resp.msg)(31, 0));
+                },
+                [&] {
+                    t.assign(src1_data_r_,
+                             rd(mem_ifc.resp.msg)(31, 0));
+                });
+                t.assign(resp_cnt_, rd(resp_cnt_) + 1u);
+            });
+
+            // Stage X valid chain, aligned with the multiplier depth.
+            IrExpr launched = resp_fire && is_odd;
+            t.assign(mul_valid_,
+                     cat(rd(mul_valid_)(kMulStages - 2, 0),
+                         mux(launched, lit(1, 1), lit(1, 0))));
+
+            // Stage A: accumulate products exiting the pipeline.
+            t.if_(rd(mul_valid_).bit(kMulStages - 1), [&] {
+                t.assign(accum_, rd(accum_) + rd(mul_out_));
+                t.assign(done_cnt_, rd(done_cnt_) + 1u);
+                t.if_(rd(done_cnt_) + 1u == rd(size_) ||
+                          rd(size_) == 1u,
+                      [&] { t.assign(state_, kResp); });
+            });
+        });
+
+        t.if_(st == kResp, [&] {
+            t.if_(rd(cpu_ifc.resp.val) && rd(cpu_ifc.resp.rdy),
+                  [&] { t.assign(state_, kIdle); });
+        });
+    });
+}
+
+} // namespace tile
+} // namespace cmtl

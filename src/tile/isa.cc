@@ -1,0 +1,302 @@
+#include "isa.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace cmtl {
+namespace tile {
+
+DecodedInst
+decode(uint32_t inst)
+{
+    DecodedInst d;
+    d.op = static_cast<Op>((inst >> 26) & 0x3f);
+    d.rd = (inst >> 22) & 0xf;
+    d.rs1 = (inst >> 18) & 0xf;
+    d.rs2 = (inst >> 14) & 0xf;
+    d.imm = static_cast<int16_t>(inst & 0xffff);
+    return d;
+}
+
+uint32_t
+encodeR(Op op, int rd, int rs1, int rs2)
+{
+    return (static_cast<uint32_t>(op) << 26) |
+           (static_cast<uint32_t>(rd) << 22) |
+           (static_cast<uint32_t>(rs1) << 18) |
+           (static_cast<uint32_t>(rs2) << 14);
+}
+
+uint32_t
+encodeI(Op op, int rd, int rs1, int32_t imm)
+{
+    return (static_cast<uint32_t>(op) << 26) |
+           (static_cast<uint32_t>(rd) << 22) |
+           (static_cast<uint32_t>(rs1) << 18) |
+           (static_cast<uint32_t>(imm) & 0xffff);
+}
+
+std::string
+disassemble(uint32_t inst)
+{
+    DecodedInst d = decode(inst);
+    std::ostringstream os;
+    auto r = [](int i) { return "r" + std::to_string(i); };
+    switch (d.op) {
+      case Op::Add:
+        if (d.rd == 0 && d.rs1 == 0 && d.rs2 == 0)
+            return "nop";
+        os << "add " << r(d.rd) << ", " << r(d.rs1) << ", " << r(d.rs2);
+        break;
+      case Op::Sub: os << "sub " << r(d.rd) << ", " << r(d.rs1) << ", "
+                       << r(d.rs2); break;
+      case Op::Mul: os << "mul " << r(d.rd) << ", " << r(d.rs1) << ", "
+                       << r(d.rs2); break;
+      case Op::And: os << "and " << r(d.rd) << ", " << r(d.rs1) << ", "
+                       << r(d.rs2); break;
+      case Op::Or: os << "or " << r(d.rd) << ", " << r(d.rs1) << ", "
+                      << r(d.rs2); break;
+      case Op::Xor: os << "xor " << r(d.rd) << ", " << r(d.rs1) << ", "
+                       << r(d.rs2); break;
+      case Op::Sll: os << "sll " << r(d.rd) << ", " << r(d.rs1) << ", "
+                       << r(d.rs2); break;
+      case Op::Srl: os << "srl " << r(d.rd) << ", " << r(d.rs1) << ", "
+                       << r(d.rs2); break;
+      case Op::Slt: os << "slt " << r(d.rd) << ", " << r(d.rs1) << ", "
+                       << r(d.rs2); break;
+      case Op::Addi: os << "addi " << r(d.rd) << ", " << r(d.rs1) << ", "
+                        << d.imm; break;
+      case Op::Lui: os << "lui " << r(d.rd) << ", " << d.imm; break;
+      case Op::Lw: os << "lw " << r(d.rd) << ", " << d.imm << "("
+                      << r(d.rs1) << ")"; break;
+      case Op::Sw: os << "sw " << r(d.rd) << ", " << d.imm << "("
+                      << r(d.rs1) << ")"; break;
+      case Op::Beq: os << "beq " << r(d.rs1) << ", " << r(d.rd) << ", "
+                       << d.imm; break;
+      case Op::Bne: os << "bne " << r(d.rs1) << ", " << r(d.rd) << ", "
+                       << d.imm; break;
+      case Op::Blt: os << "blt " << r(d.rs1) << ", " << r(d.rd) << ", "
+                       << d.imm; break;
+      case Op::Jal: os << "jal " << r(d.rd) << ", " << d.imm; break;
+      case Op::Jr: os << "jr " << r(d.rs1); break;
+      case Op::Accx: os << "accx " << r(d.rd) << ", " << r(d.rs1) << ", "
+                        << d.imm; break;
+      case Op::Halt: return "halt";
+      default: os << "unknown(" << static_cast<int>(d.op) << ")";
+    }
+    return os.str();
+}
+
+void
+Assembler::emitR(Op op, int rd, int rs1, int rs2)
+{
+    words_.push_back(encodeR(op, rd, rs1, rs2));
+}
+
+void
+Assembler::emitI(Op op, int rd, int rs1, int32_t imm)
+{
+    if (imm < -32768 || imm > 65535)
+        throw std::out_of_range("immediate out of range");
+    words_.push_back(encodeI(op, rd, rs1, imm));
+}
+
+void
+Assembler::emitBranch(Op op, int ra, int rb, const std::string &target)
+{
+    fixups_.push_back(Fixup{words_.size(), target});
+    // rs1 = first operand, rd = second operand; imm patched later.
+    words_.push_back(encodeI(op, rb, ra, 0));
+}
+
+void
+Assembler::beq(int ra, int rb, const std::string &target)
+{
+    emitBranch(Op::Beq, ra, rb, target);
+}
+
+void
+Assembler::bne(int ra, int rb, const std::string &target)
+{
+    emitBranch(Op::Bne, ra, rb, target);
+}
+
+void
+Assembler::blt(int ra, int rb, const std::string &target)
+{
+    emitBranch(Op::Blt, ra, rb, target);
+}
+
+void
+Assembler::jal(int rd, const std::string &target)
+{
+    fixups_.push_back(Fixup{words_.size(), target});
+    words_.push_back(encodeI(Op::Jal, rd, 0, 0));
+}
+
+void
+Assembler::li(int rd, uint32_t value)
+{
+    if (value <= 0x7fff) {
+        addi(rd, 0, static_cast<int32_t>(value));
+        return;
+    }
+    // lui writes the upper 16 bits; or-in the lower half via addi on a
+    // zero-extended immediate path (addi sign-extends, so keep the low
+    // half below 0x8000 by adjusting the upper half).
+    uint32_t hi = value >> 16;
+    uint32_t lo = value & 0xffff;
+    if (lo >= 0x8000) {
+        hi += 1;
+        lui(rd, static_cast<int32_t>(hi & 0xffff));
+        addi(rd, rd, static_cast<int32_t>(lo) - 0x10000);
+    } else {
+        lui(rd, static_cast<int32_t>(hi));
+        addi(rd, rd, static_cast<int32_t>(lo));
+    }
+}
+
+void
+Assembler::label(const std::string &name)
+{
+    if (labels_.count(name))
+        throw std::invalid_argument("duplicate label " + name);
+    labels_[name] = pc();
+}
+
+std::vector<uint32_t>
+Assembler::finish()
+{
+    for (const Fixup &fixup : fixups_) {
+        auto it = labels_.find(fixup.target);
+        if (it == labels_.end())
+            throw std::invalid_argument("undefined label " + fixup.target);
+        int32_t delta =
+            (static_cast<int32_t>(it->second) -
+             (static_cast<int32_t>(fixup.index) * 4 + 4)) /
+            4;
+        words_[fixup.index] =
+            (words_[fixup.index] & 0xffff0000u) |
+            (static_cast<uint32_t>(delta) & 0xffff);
+    }
+    fixups_.clear();
+    return words_;
+}
+
+// ------------------------------------------------------------- GoldenIss
+
+GoldenIss::GoldenIss(const std::vector<uint32_t> &program)
+{
+    for (size_t i = 0; i < program.size(); ++i)
+        mem_[static_cast<uint32_t>(i) * 4] = program[i];
+}
+
+void
+GoldenIss::writeMem(uint32_t addr, uint32_t value)
+{
+    mem_[addr & ~3u] = value;
+}
+
+uint32_t
+GoldenIss::readMem(uint32_t addr) const
+{
+    auto it = mem_.find(addr & ~3u);
+    return it == mem_.end() ? 0 : it->second;
+}
+
+uint64_t
+GoldenIss::run(uint64_t max_insts)
+{
+    uint64_t executed = 0;
+    while (!halted_ && executed < max_insts) {
+        DecodedInst d = decode(readMem(pc_));
+        uint32_t next_pc = pc_ + 4;
+        uint32_t a = regs_[d.rs1];
+        uint32_t b = regs_[d.rs2];
+        uint32_t result = 0;
+        bool write_rd = false;
+        switch (d.op) {
+          case Op::Add: result = a + b; write_rd = true; break;
+          case Op::Sub: result = a - b; write_rd = true; break;
+          case Op::Mul: result = a * b; write_rd = true; break;
+          case Op::And: result = a & b; write_rd = true; break;
+          case Op::Or: result = a | b; write_rd = true; break;
+          case Op::Xor: result = a ^ b; write_rd = true; break;
+          case Op::Sll: result = a << (b & 31); write_rd = true; break;
+          case Op::Srl: result = a >> (b & 31); write_rd = true; break;
+          case Op::Slt:
+            result = static_cast<int32_t>(a) < static_cast<int32_t>(b);
+            write_rd = true;
+            break;
+          case Op::Addi:
+            result = a + static_cast<uint32_t>(d.imm);
+            write_rd = true;
+            break;
+          case Op::Lui:
+            result = static_cast<uint32_t>(d.imm) << 16;
+            write_rd = true;
+            break;
+          case Op::Lw:
+            result = readMem(a + static_cast<uint32_t>(d.imm));
+            write_rd = true;
+            break;
+          case Op::Sw:
+            writeMem(a + static_cast<uint32_t>(d.imm), regs_[d.rd]);
+            break;
+          case Op::Beq:
+            if (a == regs_[d.rd])
+                next_pc = pc_ + 4 + static_cast<uint32_t>(d.imm) * 4;
+            break;
+          case Op::Bne:
+            if (a != regs_[d.rd])
+                next_pc = pc_ + 4 + static_cast<uint32_t>(d.imm) * 4;
+            break;
+          case Op::Blt:
+            if (static_cast<int32_t>(a) <
+                static_cast<int32_t>(regs_[d.rd]))
+                next_pc = pc_ + 4 + static_cast<uint32_t>(d.imm) * 4;
+            break;
+          case Op::Jal:
+            result = pc_ + 4;
+            write_rd = true;
+            next_pc = pc_ + 4 + static_cast<uint32_t>(d.imm) * 4;
+            break;
+          case Op::Jr:
+            next_pc = a;
+            break;
+          case Op::Accx:
+            switch (d.imm) {
+              case 1: acc_size_ = a; break;
+              case 2: acc_src0_ = a; break;
+              case 3: acc_src1_ = a; break;
+              case 0: {
+                uint32_t sum = 0;
+                for (uint32_t i = 0; i < acc_size_; ++i) {
+                    sum += readMem(acc_src0_ + i * 4) *
+                           readMem(acc_src1_ + i * 4);
+                }
+                result = sum;
+                write_rd = true;
+                break;
+              }
+              default: break;
+            }
+            break;
+          case Op::Halt:
+            halted_ = true;
+            next_pc = pc_;
+            break;
+          default:
+            throw std::runtime_error("golden ISS: illegal instruction");
+        }
+        if (write_rd && d.rd != 0)
+            regs_[d.rd] = result;
+        regs_[0] = 0;
+        pc_ = next_pc;
+        ++executed;
+    }
+    return executed;
+}
+
+} // namespace tile
+} // namespace cmtl

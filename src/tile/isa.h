@@ -1,0 +1,186 @@
+/**
+ * @file
+ * TinyRISC: the small RISC ISA executed by the tile's processor.
+ *
+ * 32-bit instructions, 16 general-purpose registers (r0 is hardwired
+ * to zero), word-addressed loads/stores, and a coprocessor-transfer
+ * instruction (ACCX) implementing the paper's accelerator protocol:
+ * writes to accelerator control registers 1..3 configure size and
+ * source base addresses; a transfer to control register 0 starts the
+ * computation and returns the result.
+ *
+ * Encoding:
+ *   [31:26] opcode
+ *   [25:22] rd     (also: store-data register, branch second operand)
+ *   [21:18] rs1
+ *   [17:14] rs2    (R-type only)
+ *   [15:0]  imm16  (I-type only, sign-extended; branch offsets are in
+ *                   instruction words, PC-relative to PC+4)
+ */
+
+#ifndef CMTL_TILE_ISA_H
+#define CMTL_TILE_ISA_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cmtl {
+namespace tile {
+
+constexpr int kNumRegs = 16;
+
+/** Instruction opcodes. */
+enum class Op : uint8_t
+{
+    // R-type.
+    Add = 0, Sub, Mul, And, Or, Xor, Sll, Srl, Slt,
+    // I-type.
+    Addi = 16, Lui, Lw, Sw, Beq, Bne, Blt,
+    /** Jump-and-link: rd = pc+4, pc += 4 + imm*4. */
+    Jal = 23,
+    /** Jump register: pc = R[rs1]. */
+    Jr = 24,
+    // Coprocessor transfer: ACCX rd, rs1, ctrl.
+    Accx = 32,
+    Halt = 63,
+};
+
+/** A decoded instruction. */
+struct DecodedInst
+{
+    Op op;
+    int rd;
+    int rs1;
+    int rs2;
+    int32_t imm; //!< sign-extended imm16
+
+    bool
+    isRType() const
+    {
+        return static_cast<uint8_t>(op) < 16;
+    }
+};
+
+/** Decode a 32-bit instruction word. */
+DecodedInst decode(uint32_t inst);
+
+/** Encode helpers. */
+uint32_t encodeR(Op op, int rd, int rs1, int rs2);
+uint32_t encodeI(Op op, int rd, int rs1, int32_t imm);
+
+/** Render an instruction for line tracing, e.g. "addi r3, r3, -1". */
+std::string disassemble(uint32_t inst);
+
+/**
+ * A tiny two-pass assembler with labels.
+ *
+ *   Assembler a;
+ *   a.label("loop");
+ *   a.lw(5, 1, 0);
+ *   a.bne(3, 0, "loop");
+ *   std::vector<uint32_t> words = a.finish();
+ */
+class Assembler
+{
+  public:
+    void add(int rd, int rs1, int rs2) { emitR(Op::Add, rd, rs1, rs2); }
+    void sub(int rd, int rs1, int rs2) { emitR(Op::Sub, rd, rs1, rs2); }
+    void mul(int rd, int rs1, int rs2) { emitR(Op::Mul, rd, rs1, rs2); }
+    void and_(int rd, int rs1, int rs2) { emitR(Op::And, rd, rs1, rs2); }
+    void or_(int rd, int rs1, int rs2) { emitR(Op::Or, rd, rs1, rs2); }
+    void xor_(int rd, int rs1, int rs2) { emitR(Op::Xor, rd, rs1, rs2); }
+    void sll(int rd, int rs1, int rs2) { emitR(Op::Sll, rd, rs1, rs2); }
+    void srl(int rd, int rs1, int rs2) { emitR(Op::Srl, rd, rs1, rs2); }
+    void slt(int rd, int rs1, int rs2) { emitR(Op::Slt, rd, rs1, rs2); }
+
+    void addi(int rd, int rs1, int32_t imm)
+    {
+        emitI(Op::Addi, rd, rs1, imm);
+    }
+    /** rd = imm << 16. */
+    void lui(int rd, int32_t imm) { emitI(Op::Lui, rd, 0, imm); }
+    /** rd = mem[R[rs1] + imm]. */
+    void lw(int rd, int rs1, int32_t imm) { emitI(Op::Lw, rd, rs1, imm); }
+    /** mem[R[rs1] + imm] = R[rd]. */
+    void sw(int rd, int rs1, int32_t imm) { emitI(Op::Sw, rd, rs1, imm); }
+
+    void beq(int ra, int rb, const std::string &target);
+    void bne(int ra, int rb, const std::string &target);
+    /** Branch if signed R[ra] < R[rb]. */
+    void blt(int ra, int rb, const std::string &target);
+    /** Call: rd = return address, jump to label. */
+    void jal(int rd, const std::string &target);
+    /** Return / indirect jump: pc = R[rs1]. */
+    void jr(int rs1) { emitI(Op::Jr, 0, rs1, 0); }
+
+    /** Transfer R[rs1] to accelerator control register @p ctrl;
+     *  ctrl 0 starts the accelerator and writes the result to rd. */
+    void accx(int rd, int rs1, int ctrl)
+    {
+        emitI(Op::Accx, rd, rs1, ctrl);
+    }
+
+    void halt() { emitI(Op::Halt, 0, 0, 0); }
+    void nop() { emitR(Op::Add, 0, 0, 0); }
+
+    /** Pseudo-instruction: load a full 32-bit constant (lui+addi). */
+    void li(int rd, uint32_t value);
+
+    /** Bind a label to the next instruction's address. */
+    void label(const std::string &name);
+
+    /** Current program counter (bytes). */
+    uint32_t pc() const { return static_cast<uint32_t>(words_.size()) * 4; }
+
+    /** Resolve branches and return the program image. */
+    std::vector<uint32_t> finish();
+
+  private:
+    void emitR(Op op, int rd, int rs1, int rs2);
+    void emitI(Op op, int rd, int rs1, int32_t imm);
+    void emitBranch(Op op, int ra, int rb, const std::string &target);
+
+    struct Fixup
+    {
+        size_t index;
+        std::string target;
+    };
+
+    std::vector<uint32_t> words_;
+    std::map<std::string, uint32_t> labels_;
+    std::vector<Fixup> fixups_;
+};
+
+/**
+ * A host-side golden-model executor for TinyRISC programs: the
+ * simplest possible ISS, used to validate the FL/CL/RTL processors.
+ * Memory is a flat word map; ACCX is emulated functionally.
+ */
+class GoldenIss
+{
+  public:
+    explicit GoldenIss(const std::vector<uint32_t> &program);
+
+    void writeMem(uint32_t addr, uint32_t value);
+    uint32_t readMem(uint32_t addr) const;
+    uint32_t reg(int index) const { return regs_[index]; }
+
+    /** Run until HALT or @p max_insts; returns instructions executed. */
+    uint64_t run(uint64_t max_insts = 1000000);
+    bool halted() const { return halted_; }
+
+  private:
+    std::map<uint32_t, uint32_t> mem_;
+    uint32_t regs_[kNumRegs] = {};
+    uint32_t pc_ = 0;
+    bool halted_ = false;
+    // Accelerator architectural state.
+    uint32_t acc_size_ = 0, acc_src0_ = 0, acc_src1_ = 0;
+};
+
+} // namespace tile
+} // namespace cmtl
+
+#endif // CMTL_TILE_ISA_H

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Multi-tile system: compute tiles interconnected by an on-chip
+ * network (the paper's Figure 5a vision).
+ *
+ * Each tile's L1 refill traffic is carried over a mesh network to a
+ * shared memory node. Tiles may each use a different mix of FL/CL/RTL
+ * components — the heterogeneous, mixed-level system simulation the
+ * paper motivates. The memory node additionally serves a "who am I"
+ * register (a read of kWhoAmIAddr returns the requester's terminal
+ * id), which programs use to partition work.
+ *
+ * Network message payload: {port tag (1b), memory request (60b)} for
+ * requests; {port tag (1b), memory response (33b)} for responses.
+ */
+
+#ifndef CMTL_TILE_MULTITILE_H
+#define CMTL_TILE_MULTITILE_H
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "net/fl_network.h"
+#include "net/mesh.h"
+#include "tile/programs.h"
+#include "tile/tile.h"
+
+namespace cmtl {
+namespace tile {
+
+/** Byte address whose read returns the requesting tile's id. */
+constexpr uint32_t kWhoAmIAddr = 0x0ffc;
+
+/** Bridges a tile's two refill ports onto one network terminal. */
+class TileMemBridge : public Model
+{
+  public:
+    ChildReqRespBundle imem_in;
+    ChildReqRespBundle dmem_in;
+    OutValRdy net_out; //!< to the network injection terminal
+    InValRdy net_in;   //!< from the network ejection terminal
+
+    TileMemBridge(Model *parent, const std::string &name, int tile_id,
+                  const BitStructLayout &net_msg, int mem_node);
+
+  private:
+    std::unique_ptr<stdlib::ChildReqRespQueueAdapter> imem_;
+    std::unique_ptr<stdlib::ChildReqRespQueueAdapter> dmem_;
+    std::unique_ptr<stdlib::OutQueueAdapter> out_;
+    std::unique_ptr<stdlib::InQueueAdapter> in_;
+    BitStructLayout msg_;
+    int tile_id_;
+    int mem_node_;
+    int rr_ = 0;
+};
+
+/** The shared memory node on the network. */
+class MemNode : public Model
+{
+  public:
+    OutValRdy net_out;
+    InValRdy net_in;
+
+    MemNode(Model *parent, const std::string &name,
+            const BitStructLayout &net_msg, int latency = 2);
+
+    uint32_t readWord(uint32_t addr) const;
+    void writeWord(uint32_t addr, uint32_t value);
+    uint64_t numRequests() const { return num_requests_; }
+
+  private:
+    struct Pending
+    {
+        uint64_t due;
+        Bits msg;
+    };
+
+    std::unique_ptr<stdlib::OutQueueAdapter> out_;
+    std::unique_ptr<stdlib::InQueueAdapter> in_;
+    BitStructLayout msg_;
+    ReqRespIfcTypes mem_types_;
+    std::unordered_map<uint32_t, uint32_t> words_;
+    std::deque<Pending> pending_;
+    int latency_;
+    uint64_t now_ = 0;
+    uint64_t num_requests_ = 0;
+};
+
+/** Tiles + bridges + network + memory node, composed. */
+class MultiTileSystem : public Model
+{
+  public:
+    /**
+     * @param tile_levels one ⟨P,C,A⟩ triple per tile (tile count =
+     *        size); terminal count is rounded up to a perfect square
+     * @param cl_network use the CL mesh instead of the FL crossbar
+     */
+    MultiTileSystem(const std::string &name,
+                    std::vector<std::array<Level, 3>> tile_levels,
+                    bool cl_network = false, int mem_latency = 2);
+
+    int numTiles() const { return static_cast<int>(tiles_.size()); }
+    Tile &tile(int index) { return *tiles_[index]; }
+    MemNode &memNode() { return *mem_node_; }
+
+    /** Load a program image at address 0 of the shared memory. */
+    void loadProgram(const std::vector<uint32_t> &image);
+
+    bool
+    allHalted() const
+    {
+        for (const auto &t : tiles_) {
+            if (!t->halted())
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    BitStructLayout msg_;
+    std::vector<std::unique_ptr<Tile>> tiles_;
+    std::vector<std::unique_ptr<TileMemBridge>> bridges_;
+    std::unique_ptr<net::NetworkFL> fl_net_;
+    std::unique_ptr<net::MeshNetworkCL> cl_net_;
+    std::unique_ptr<MemNode> mem_node_;
+};
+
+/**
+ * A multi-tile mvmult workload: each tile reads its id from the
+ * who-am-I register and computes the full product into a private
+ * output region at out_addr + id * n * 4.
+ */
+Workload makeMvmultMultiTile(int n, bool use_accel);
+
+/** Preload the shared memory node with the mvmult inputs. */
+void loadMvmultData(MemNode &mem, const Workload &workload,
+                    uint64_t seed = 1);
+
+} // namespace tile
+} // namespace cmtl
+
+#endif // CMTL_TILE_MULTITILE_H

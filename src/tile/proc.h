@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Tile processors at three abstraction levels.
+ *
+ * All three processors expose the identical port-based interface —
+ * instruction-memory, data-memory, and accelerator request/response
+ * bundles plus a halted flag — so any of them composes with any cache
+ * and accelerator level in the tile (paper Section III-C/IV-B).
+ *
+ *  - ProcFL: an instruction-set simulator wrapped in ports: fetches
+ *    and executes one instruction at a time, blocking on every memory
+ *    and accelerator interaction.
+ *  - ProcCL: cycle-approximate pipelined timing: up to four
+ *    outstanding sequential fetches with wrong-path discard after
+ *    branches, non-blocking stores, blocking loads.
+ *  - ProcRTL: a multicycle IR state machine with a register-file
+ *    memory array; translatable and specializable.
+ */
+
+#ifndef CMTL_TILE_PROC_H
+#define CMTL_TILE_PROC_H
+
+#include <deque>
+#include <memory>
+#include <optional>
+
+#include "stdlib/adapters.h"
+#include "stdlib/reqresp.h"
+#include "tile/isa.h"
+
+namespace cmtl {
+namespace tile {
+
+/** Common interface of all processor implementations. */
+class ProcessorBase : public Model
+{
+  public:
+    ParentReqRespBundle imem_ifc;
+    ParentReqRespBundle dmem_ifc;
+    ParentReqRespBundle acc_ifc;
+    OutPort halted;
+
+    /** Committed instruction count. */
+    virtual uint64_t numInsts() const = 0;
+
+  protected:
+    ProcessorBase(Model *parent, const std::string &name)
+        : Model(parent, name), imem_ifc(this, "imem_ifc", memIfcTypes()),
+          dmem_ifc(this, "dmem_ifc", memIfcTypes()),
+          acc_ifc(this, "acc_ifc", cpuIfcTypes()),
+          halted(this, "halted", 1)
+    {}
+};
+
+/** Functional-level processor (ISS behind ports). */
+class ProcFL : public ProcessorBase
+{
+  public:
+    ProcFL(Model *parent, const std::string &name);
+    uint64_t numInsts() const override { return num_insts_; }
+    std::string lineTrace() const override;
+
+  private:
+    enum class State { Fetch, FetchWait, MemWait, AccWait };
+
+    void execute(uint32_t inst);
+
+    std::unique_ptr<stdlib::ParentReqRespQueueAdapter> imem_;
+    std::unique_ptr<stdlib::ParentReqRespQueueAdapter> dmem_;
+    std::unique_ptr<stdlib::ParentReqRespQueueAdapter> acc_;
+
+    State state_ = State::Fetch;
+    uint32_t pc_ = 0;
+    uint32_t regs_[kNumRegs] = {};
+    int pending_rd_ = -1; //!< destination of an in-flight lw / accx
+    bool is_halted_ = false;
+    uint64_t num_insts_ = 0;
+};
+
+/** Cycle-level processor with pipelined fetch. */
+class ProcCL : public ProcessorBase
+{
+  public:
+    ProcCL(Model *parent, const std::string &name);
+    uint64_t numInsts() const override { return num_insts_; }
+    std::string lineTrace() const override;
+
+  private:
+    static constexpr size_t kFetchDepth = 4;
+
+    std::unique_ptr<stdlib::ParentReqRespQueueAdapter> imem_;
+    std::unique_ptr<stdlib::ParentReqRespQueueAdapter> dmem_;
+    std::unique_ptr<stdlib::ParentReqRespQueueAdapter> acc_;
+
+    uint32_t arch_pc_ = 0;  //!< next instruction to commit
+    uint32_t fetch_pc_ = 0; //!< next address to request
+    std::deque<uint32_t> fetch_addrs_; //!< outstanding fetch addresses
+    uint32_t regs_[kNumRegs] = {};
+    std::deque<int> dmem_pending_; //!< rd per req, -1 for stores
+    bool load_blocked_ = false;
+    bool acc_blocked_ = false;
+    int acc_rd_ = 0;
+    bool is_halted_ = false;
+    uint64_t num_insts_ = 0;
+};
+
+/**
+ * Register-transfer-level 5-stage pipelined processor (the paper's
+ * tile processor): F (fetch, 4-deep fetch buffer over the
+ * latency-insensitive icache port, epoch-tagged outstanding requests
+ * for wrong-path discard), D (decode, register read with full
+ * X/M/W forwarding and load-use interlocks), X (execute, branch and
+ * jump resolution with pipeline flush), M (memory/accelerator
+ * transactions with pipeline stall), W (write-back and commit).
+ */
+class ProcRTL5 : public ProcessorBase
+{
+  public:
+    ProcRTL5(Model *parent, const std::string &name);
+    uint64_t numInsts() const override;
+
+    std::string
+    typeName() const override
+    {
+        return "ProcRTL5";
+    }
+
+  private:
+    // Architectural state.
+    MemArray regs_;
+    // Fetch unit.
+    Wire fetch_pc_, epoch_;
+    MemArray fb_pc_, fb_inst_; //!< fetch buffer FIFO
+    Wire fb_h_, fb_c_;
+    MemArray ot_pc_, ot_ep_; //!< outstanding-request FIFO
+    Wire ot_h_, ot_c_;
+    // D stage combinational decode/bypass results.
+    Wire d_valid_, d_inst_, d_pc_;
+    Wire d_op_, d_rd_, d_imm_;
+    Wire d_a_, d_b_, d_w_; //!< post-bypass rs1 / rs2 / rd values
+    Wire d_stall_;
+    // X stage pipeline register + results.
+    Wire x_valid_, x_op_, x_rd_, x_pc_, x_imm_;
+    Wire x_a_, x_b_, x_w_;
+    Wire x_alu_, x_wen_, x_redirect_, x_target_;
+    // M stage pipeline register.
+    Wire m_valid_, m_kind_, m_rd_, m_wen_, m_addr_, m_data_, m_phase_;
+    Wire m_done_;
+    // W stage pipeline register.
+    Wire w_valid_, w_rd_, w_value_, w_wen_;
+    // Control.
+    Wire adv_m_, adv_x_, adv_d_;
+    Wire halt_r_, insts_;
+};
+
+/** Register-transfer-level multicycle processor. */
+class ProcRTL : public ProcessorBase
+{
+  public:
+    ProcRTL(Model *parent, const std::string &name);
+    uint64_t numInsts() const override;
+
+    std::string
+    typeName() const override
+    {
+        return "ProcRTL";
+    }
+
+  private:
+    // Architectural + microarchitectural state.
+    MemArray regs_;
+    Wire pc_;
+    Wire state_;
+    Wire ir_;
+    Wire insts_;
+    Wire halt_r_;
+    // Decode wires.
+    Wire opcode_, rd_, rs1_, rs2_, imm_;
+    Wire rs1_val_, rs2_val_, rd_val_;
+    Wire alu_, branch_taken_;
+};
+
+} // namespace tile
+} // namespace cmtl
+
+#endif // CMTL_TILE_PROC_H

@@ -1,0 +1,216 @@
+#include "proc.h"
+
+namespace cmtl {
+namespace tile {
+
+namespace {
+// FSM states.
+constexpr uint64_t kF0 = 0; // issue instruction fetch
+constexpr uint64_t kF1 = 1; // wait for fetch response
+constexpr uint64_t kEx = 2; // decode/execute, issue dmem/acc requests
+constexpr uint64_t kMw = 3; // wait for data memory response
+constexpr uint64_t kAw = 4; // wait for accelerator response
+constexpr uint64_t kHalted = 5;
+
+constexpr uint64_t opc(Op op) { return static_cast<uint64_t>(op); }
+} // namespace
+
+ProcRTL::ProcRTL(Model *parent, const std::string &name)
+    : ProcessorBase(parent, name), regs_(this, "regs", 32, kNumRegs),
+      pc_(this, "pc", 32), state_(this, "state", 3), ir_(this, "ir", 32),
+      insts_(this, "insts", 32), halt_r_(this, "halt_r", 1),
+      opcode_(this, "opcode", 6), rd_(this, "rd", 4), rs1_(this, "rs1", 4),
+      rs2_(this, "rs2", 4), imm_(this, "imm", 32),
+      rs1_val_(this, "rs1_val", 32), rs2_val_(this, "rs2_val", 32),
+      rd_val_(this, "rd_val", 32), alu_(this, "alu", 32),
+      branch_taken_(this, "branch_taken", 1)
+{
+    const int addr_bits = imem_ifc.types.req.field("addr").nbits;
+
+    // ----------------------------------------------------- decode comb
+    auto &dc = combinational("decode_comb");
+    dc.assign(opcode_, rd(ir_)(31, 26));
+    dc.assign(rd_, rd(ir_)(25, 22));
+    dc.assign(rs1_, rd(ir_)(21, 18));
+    dc.assign(rs2_, rd(ir_)(17, 14));
+    dc.assign(imm_, rd(ir_)(15, 0).sext(32));
+    dc.assign(rs1_val_, aread(regs_, rd(rs1_)));
+    dc.assign(rs2_val_, aread(regs_, rd(rs2_)));
+    dc.assign(rd_val_, aread(regs_, rd(rd_)));
+
+    // ------------------------------------------------------- ALU comb
+    auto &ac = combinational("alu_comb");
+    {
+        IrExpr a = rd(rs1_val_);
+        IrExpr b = rd(rs2_val_);
+        IrExpr op = rd(opcode_);
+        IrExpr shamt = rd(rs2_val_)(4, 0);
+        // Signed compare via the sign-bias trick: flip the sign bits
+        // and compare unsigned.
+        IrExpr bias = lit(32, 0x80000000ull);
+        IrExpr slt_ab = (a ^ bias) < (b ^ bias);
+        IrExpr result =
+            mux(op == opc(Op::Add), a + b,
+            mux(op == opc(Op::Sub), a - b,
+            mux(op == opc(Op::Mul), a * b,
+            mux(op == opc(Op::And), a & b,
+            mux(op == opc(Op::Or), a | b,
+            mux(op == opc(Op::Xor), a ^ b,
+            mux(op == opc(Op::Sll), a << shamt,
+            mux(op == opc(Op::Srl), a >> shamt,
+            mux(op == opc(Op::Slt),
+                mux(slt_ab, lit(32, 1), lit(32, 0)),
+            mux(op == opc(Op::Addi), a + rd(imm_),
+                rd(imm_) << lit(6, 16)))))))))));
+        ac.assign(alu_, result);
+
+        IrExpr eq = a == rd(rd_val_);
+        IrExpr slt = (a ^ bias) < (rd(rd_val_) ^ bias);
+        ac.assign(branch_taken_,
+                  mux(op == opc(Op::Beq), eq,
+                  mux(op == opc(Op::Bne), !eq,
+                  mux(op == opc(Op::Blt), slt, lit(1, 0)))));
+    }
+
+    // --------------------------------------------------- request comb
+    auto &rq = combinational("req_comb");
+    {
+        IrExpr st = rd(state_);
+        IrExpr op = rd(opcode_);
+        rq.assign(imem_ifc.req.val, st == kF0);
+        rq.assign(imem_ifc.req.msg,
+                  cat({lit(1, 0), rd(pc_)(addr_bits - 1, 0),
+                       lit(32, 0)}));
+        rq.assign(imem_ifc.resp.rdy, st == kF1);
+
+        IrExpr is_lw = op == opc(Op::Lw);
+        IrExpr is_sw = op == opc(Op::Sw);
+        rq.assign(dmem_ifc.req.val, (st == kEx) && (is_lw || is_sw));
+        IrExpr eaddr = rq.let("eaddr", rd(rs1_val_) + rd(imm_));
+        rq.assign(dmem_ifc.req.msg,
+                  cat({mux(is_sw, lit(1, 1), lit(1, 0)),
+                       eaddr(addr_bits - 1, 0), rd(rd_val_)}));
+        rq.assign(dmem_ifc.resp.rdy, st == kMw);
+
+        rq.assign(acc_ifc.req.val, (st == kEx) && (op == opc(Op::Accx)));
+        rq.assign(acc_ifc.req.msg, cat(rd(imm_)(2, 0), rd(rs1_val_)));
+        rq.assign(acc_ifc.resp.rdy, st == kAw);
+
+        rq.assign(halted, rd(halt_r_));
+    }
+
+    // ------------------------------------------------------- FSM tick
+    auto &t = tickRtl("fsm");
+    t.if_(rd(reset), [&] {
+        t.assign(pc_, 0);
+        t.assign(state_, kF0);
+        t.assign(halt_r_, 0);
+        t.assign(insts_, 0);
+    },
+    [&] {
+        IrExpr st = rd(state_);
+        IrExpr op = rd(opcode_);
+        IrExpr next_pc = rd(pc_) + 4u;
+        IrExpr btarget =
+            rd(pc_) + 4u + (rd(imm_) << lit(3, 2));
+
+        t.if_(st == kF0 && rd(imem_ifc.req.val) &&
+                  rd(imem_ifc.req.rdy),
+              [&] { t.assign(state_, kF1); });
+
+        t.if_(st == kF1 && rd(imem_ifc.resp.val) &&
+                  rd(imem_ifc.resp.rdy),
+              [&] {
+                  t.assign(ir_, rd(imem_ifc.resp.msg)(31, 0));
+                  t.assign(state_, kEx);
+              });
+
+        t.if_(st == kEx, [&] {
+            // ALU / LUI / ADDI commit.
+            t.if_(op < lit(6, opc(Op::Lw)), [&] {
+                t.if_(rd(rd_) != 0u, [&] {
+                    t.writeArray(regs_, rd(rd_), rd(alu_));
+                });
+                t.assign(pc_, next_pc);
+                t.assign(insts_, rd(insts_) + 1u);
+                t.assign(state_, kF0);
+            });
+            // Memory operations: wait for the request to be accepted.
+            t.if_((op == opc(Op::Lw)) || (op == opc(Op::Sw)), [&] {
+                t.if_(rd(dmem_ifc.req.rdy), [&] {
+                    t.assign(state_, kMw);
+                });
+            });
+            // Branches.
+            t.if_((op == opc(Op::Beq)) || (op == opc(Op::Bne)) ||
+                      (op == opc(Op::Blt)),
+                  [&] {
+                      t.assign(pc_, mux(rd(branch_taken_), btarget,
+                                        next_pc));
+                      t.assign(insts_, rd(insts_) + 1u);
+                      t.assign(state_, kF0);
+                  });
+            // Jumps.
+            t.if_(op == opc(Op::Jal), [&] {
+                t.if_(rd(rd_) != 0u, [&] {
+                    t.writeArray(regs_, rd(rd_), next_pc);
+                });
+                t.assign(pc_, btarget);
+                t.assign(insts_, rd(insts_) + 1u);
+                t.assign(state_, kF0);
+            });
+            t.if_(op == opc(Op::Jr), [&] {
+                t.assign(pc_, rd(rs1_val_));
+                t.assign(insts_, rd(insts_) + 1u);
+                t.assign(state_, kF0);
+            });
+            // Accelerator transfer.
+            t.if_(op == opc(Op::Accx), [&] {
+                t.if_(rd(acc_ifc.req.rdy), [&] {
+                    t.if_(rd(imm_)(2, 0) == 0u,
+                          [&] { t.assign(state_, kAw); },
+                          [&] {
+                              t.assign(pc_, next_pc);
+                              t.assign(insts_, rd(insts_) + 1u);
+                              t.assign(state_, kF0);
+                          });
+                });
+            });
+            // Halt (committed like any other instruction).
+            t.if_(op == opc(Op::Halt), [&] {
+                t.assign(halt_r_, 1);
+                t.assign(insts_, rd(insts_) + 1u);
+                t.assign(state_, kHalted);
+            });
+        });
+
+        t.if_(st == kMw && rd(dmem_ifc.resp.val), [&] {
+            t.if_((op == opc(Op::Lw)) && (rd(rd_) != 0u), [&] {
+                t.writeArray(regs_, rd(rd_),
+                             rd(dmem_ifc.resp.msg)(31, 0));
+            });
+            t.assign(pc_, next_pc);
+            t.assign(insts_, rd(insts_) + 1u);
+            t.assign(state_, kF0);
+        });
+
+        t.if_(st == kAw && rd(acc_ifc.resp.val), [&] {
+            t.if_(rd(rd_) != 0u, [&] {
+                t.writeArray(regs_, rd(rd_),
+                             rd(acc_ifc.resp.msg)(31, 0));
+            });
+            t.assign(pc_, next_pc);
+            t.assign(insts_, rd(insts_) + 1u);
+            t.assign(state_, kF0);
+        });
+    });
+}
+
+uint64_t
+ProcRTL::numInsts() const
+{
+    return insts_.value().toUint64();
+}
+
+} // namespace tile
+} // namespace cmtl

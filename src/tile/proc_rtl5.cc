@@ -1,0 +1,347 @@
+#include "proc.h"
+
+namespace cmtl {
+namespace tile {
+
+namespace {
+constexpr uint64_t opc(Op op) { return static_cast<uint64_t>(op); }
+
+// M-stage transaction kinds.
+constexpr uint64_t kKindAlu = 0;
+constexpr uint64_t kKindLoad = 1;
+constexpr uint64_t kKindStore = 2;
+constexpr uint64_t kKindAccCfg = 3;
+constexpr uint64_t kKindAccGo = 4;
+} // namespace
+
+ProcRTL5::ProcRTL5(Model *parent, const std::string &name)
+    : ProcessorBase(parent, name), regs_(this, "regs", 32, kNumRegs),
+      fetch_pc_(this, "fetch_pc", 32), epoch_(this, "epoch", 4),
+      fb_pc_(this, "fb_pc", 32, 4), fb_inst_(this, "fb_inst", 32, 4),
+      fb_h_(this, "fb_h", 2), fb_c_(this, "fb_c", 3),
+      ot_pc_(this, "ot_pc", 32, 4), ot_ep_(this, "ot_ep", 4, 4),
+      ot_h_(this, "ot_h", 2), ot_c_(this, "ot_c", 3),
+      d_valid_(this, "d_valid", 1), d_inst_(this, "d_inst", 32),
+      d_pc_(this, "d_pc", 32), d_op_(this, "d_op", 6),
+      d_rd_(this, "d_rd", 4), d_imm_(this, "d_imm", 32),
+      d_a_(this, "d_a", 32), d_b_(this, "d_b", 32),
+      d_w_(this, "d_w", 32), d_stall_(this, "d_stall", 1),
+      x_valid_(this, "x_valid", 1), x_op_(this, "x_op", 6),
+      x_rd_(this, "x_rd", 4), x_pc_(this, "x_pc", 32),
+      x_imm_(this, "x_imm", 32), x_a_(this, "x_a", 32),
+      x_b_(this, "x_b", 32), x_w_(this, "x_w", 32),
+      x_alu_(this, "x_alu", 32), x_wen_(this, "x_wen", 1),
+      x_redirect_(this, "x_redirect", 1), x_target_(this, "x_target", 32),
+      m_valid_(this, "m_valid", 1), m_kind_(this, "m_kind", 3),
+      m_rd_(this, "m_rd", 4), m_wen_(this, "m_wen", 1),
+      m_addr_(this, "m_addr", 32), m_data_(this, "m_data", 32),
+      m_phase_(this, "m_phase", 1), m_done_(this, "m_done", 1),
+      w_valid_(this, "w_valid", 1), w_rd_(this, "w_rd", 4),
+      w_value_(this, "w_value", 32), w_wen_(this, "w_wen", 1),
+      adv_m_(this, "adv_m", 1), adv_x_(this, "adv_x", 1),
+      adv_d_(this, "adv_d", 1), halt_r_(this, "halt_r", 1),
+      insts_(this, "insts", 32)
+{
+    const int addr_bits = imem_ifc.types.req.field("addr").nbits;
+
+    // ------------------------------------------------- decode comb
+    auto &dc = combinational("decode_comb");
+    {
+        dc.assign(d_valid_, rd(fb_c_) != 0u);
+        IrExpr inst = dc.let("inst", aread(fb_inst_, rd(fb_h_)));
+        dc.assign(d_inst_, inst);
+        dc.assign(d_pc_, aread(fb_pc_, rd(fb_h_)));
+        IrExpr op = inst.slice(26, 6);
+        dc.assign(d_op_, op);
+        dc.assign(d_rd_, inst.slice(22, 4));
+        dc.assign(d_imm_, inst.slice(0, 16).sext(32));
+
+        // Operand read with full X/M/W forwarding; a hazard means the
+        // producer's value is not yet available (loads and
+        // accelerator results before W).
+        auto operand = [&](const IrExpr &idx, const std::string &nm,
+                           IrExpr &hazard_out) {
+            IrExpr nz = dc.let(nm + "_nz", idx != 0u);
+            IrExpr value = aread(regs_, idx);
+            // W bypass (oldest).
+            value = mux(rd(w_valid_) && rd(w_wen_) &&
+                            (rd(w_rd_) == idx) && nz,
+                        rd(w_value_), value);
+            // M bypass: only ALU-kind values are in m_data.
+            IrExpr m_hit = dc.let(nm + "_mh",
+                                  rd(m_valid_) && rd(m_wen_) &&
+                                      (rd(m_rd_) == idx) && nz);
+            IrExpr m_ready = rd(m_kind_) == kKindAlu;
+            value = mux(m_hit && m_ready, rd(m_data_), value);
+            // X bypass (youngest): loads/acc-go results not ready.
+            IrExpr x_hit = dc.let(nm + "_xh",
+                                  rd(x_valid_) && rd(x_wen_) &&
+                                      (rd(x_rd_) == idx) && nz);
+            IrExpr x_ready = !((rd(x_op_) == opc(Op::Lw)) ||
+                               (rd(x_op_) == opc(Op::Accx)));
+            value = mux(x_hit && x_ready, rd(x_alu_), value);
+            hazard_out = dc.let(nm + "_hz", (x_hit && !x_ready) ||
+                                                (m_hit && !m_ready));
+            return value;
+        };
+
+        IrExpr hz_a, hz_b, hz_w;
+        IrExpr a = operand(inst.slice(18, 4), "a", hz_a);
+        IrExpr b = operand(inst.slice(14, 4), "b", hz_b);
+        IrExpr w = operand(inst.slice(22, 4), "w", hz_w);
+        dc.assign(d_a_, a);
+        dc.assign(d_b_, b);
+        dc.assign(d_w_, w);
+
+        // Which operands the instruction actually uses.
+        IrExpr need_a = (op != opc(Op::Lui)) && (op != opc(Op::Jal)) &&
+                        (op != opc(Op::Halt));
+        IrExpr need_b = op < 16u; // R-type only
+        IrExpr need_w = (op == opc(Op::Sw)) || (op == opc(Op::Beq)) ||
+                        (op == opc(Op::Bne)) || (op == opc(Op::Blt));
+        dc.assign(d_stall_, (hz_a && need_a) || (hz_b && need_b) ||
+                                (hz_w && need_w));
+    }
+
+    // ------------------------------------------------------ X comb
+    auto &xc = combinational("x_comb");
+    {
+        IrExpr op = rd(x_op_);
+        IrExpr a = rd(x_a_);
+        IrExpr b = rd(x_b_);
+        IrExpr imm = rd(x_imm_);
+        IrExpr shamt = rd(x_b_)(4, 0);
+        IrExpr bias = lit(32, 0x80000000ull);
+        IrExpr slt_ab = (a ^ bias) < (b ^ bias);
+        IrExpr alu =
+            mux(op == opc(Op::Add), a + b,
+            mux(op == opc(Op::Sub), a - b,
+            mux(op == opc(Op::Mul), a * b,
+            mux(op == opc(Op::And), a & b,
+            mux(op == opc(Op::Or), a | b,
+            mux(op == opc(Op::Xor), a ^ b,
+            mux(op == opc(Op::Sll), a << shamt,
+            mux(op == opc(Op::Srl), a >> shamt,
+            mux(op == opc(Op::Slt),
+                mux(slt_ab, lit(32, 1), lit(32, 0)),
+            mux(op == opc(Op::Addi), a + imm,
+            mux(op == opc(Op::Jal), rd(x_pc_) + 4u,
+                imm << lit(6, 16))))))))))));
+        xc.assign(x_alu_, alu);
+
+        IrExpr eq = a == rd(x_w_);
+        IrExpr sltw = (a ^ bias) < (rd(x_w_) ^ bias);
+        IrExpr taken =
+            mux(op == opc(Op::Beq), eq,
+            mux(op == opc(Op::Bne), !eq,
+            mux(op == opc(Op::Blt), sltw, lit(1, 0))));
+        xc.assign(x_redirect_,
+                  taken || (op == opc(Op::Jal)) || (op == opc(Op::Jr)) ||
+                      (op == opc(Op::Halt)));
+        IrExpr btarget = rd(x_pc_) + 4u + (imm << lit(3, 2));
+        xc.assign(x_target_, mux(op == opc(Op::Jr), a, btarget));
+
+        // Does this instruction write a register?
+        xc.assign(x_wen_,
+                  ((op < 9u) || (op == opc(Op::Addi)) ||
+                   (op == opc(Op::Lui)) || (op == opc(Op::Lw)) ||
+                   (op == opc(Op::Jal)) ||
+                   ((op == opc(Op::Accx)) && (imm(2, 0) == 0u))) &&
+                      (rd(x_rd_) != 0u));
+    }
+
+    // ------------------------------------------------ control comb
+    auto &cc = combinational("ctrl_comb");
+    {
+        IrExpr kind = rd(m_kind_);
+        IrExpr is_dmem =
+            (kind == kKindLoad) || (kind == kKindStore);
+        IrExpr done =
+            mux(kind == kKindAlu, lit(1, 1),
+            mux(is_dmem,
+                (rd(m_phase_) == 1u) && rd(dmem_ifc.resp.val),
+            mux(kind == kKindAccCfg, rd(acc_ifc.req.rdy),
+                /* acc go */
+                (rd(m_phase_) == 1u) && rd(acc_ifc.resp.val))));
+        cc.assign(m_done_, rd(m_valid_) && done);
+        IrExpr m_free = !rd(m_valid_) || rd(m_done_);
+        cc.assign(adv_m_, rd(m_done_));
+        IrExpr advx = rd(x_valid_) && m_free;
+        cc.assign(adv_x_, advx);
+        IrExpr x_free = !rd(x_valid_) || advx;
+        cc.assign(adv_d_, rd(d_valid_) && !rd(d_stall_) && x_free &&
+                              !(advx && rd(x_redirect_)) &&
+                              !rd(halt_r_));
+    }
+
+    // -------------------------------------------------- ports comb
+    auto &pc = combinational("ports_comb");
+    {
+        // Fetch: stream sequential requests while slots remain.
+        IrExpr slots = rd(fb_c_) + rd(ot_c_);
+        pc.assign(imem_ifc.req.val,
+                  (slots < 4u) && !rd(halt_r_) && !rd(reset));
+        pc.assign(imem_ifc.req.msg,
+                  cat({lit(1, 0), rd(fetch_pc_)(addr_bits - 1, 0),
+                       lit(32, 0)}));
+        pc.assign(imem_ifc.resp.rdy, lit(1, 1));
+
+        // Data memory: request in phase 0, response in phase 1.
+        IrExpr kind = rd(m_kind_);
+        IrExpr is_dmem =
+            (kind == kKindLoad) || (kind == kKindStore);
+        pc.assign(dmem_ifc.req.val,
+                  rd(m_valid_) && is_dmem && (rd(m_phase_) == 0u));
+        pc.assign(dmem_ifc.req.msg,
+                  cat({mux(kind == kKindStore, lit(1, 1), lit(1, 0)),
+                       rd(m_addr_)(addr_bits - 1, 0), rd(m_data_)}));
+        pc.assign(dmem_ifc.resp.rdy,
+                  rd(m_valid_) && is_dmem && (rd(m_phase_) == 1u));
+
+        // Accelerator port.
+        IrExpr is_acc =
+            (kind == kKindAccCfg) || (kind == kKindAccGo);
+        pc.assign(acc_ifc.req.val,
+                  rd(m_valid_) && is_acc && (rd(m_phase_) == 0u));
+        pc.assign(acc_ifc.req.msg,
+                  cat(rd(m_addr_)(2, 0), rd(m_data_)));
+        pc.assign(acc_ifc.resp.rdy, rd(m_valid_) &&
+                                        (kind == kKindAccGo) &&
+                                        (rd(m_phase_) == 1u));
+
+        pc.assign(halted, rd(halt_r_));
+    }
+
+    // -------------------------------------------------- pipe tick
+    auto &t = tickRtl("pipe");
+    t.if_(rd(reset), [&] {
+        t.assign(fetch_pc_, 0);
+        t.assign(epoch_, 0);
+        t.assign(fb_h_, 0);
+        t.assign(fb_c_, 0);
+        t.assign(ot_h_, 0);
+        t.assign(ot_c_, 0);
+        t.assign(x_valid_, 0);
+        t.assign(m_valid_, 0);
+        t.assign(w_valid_, 0);
+        t.assign(halt_r_, 0);
+        t.assign(insts_, 0);
+    },
+    [&] {
+        // ---- W: commit.
+        t.if_(rd(w_valid_), [&] {
+            t.if_(rd(w_wen_), [&] {
+                t.writeArray(regs_, rd(w_rd_), rd(w_value_));
+            });
+            t.assign(insts_, rd(insts_) + 1u);
+        });
+        t.assign(w_valid_, rd(adv_m_));
+        t.if_(rd(adv_m_), [&] {
+            t.assign(w_rd_, rd(m_rd_));
+            t.assign(w_wen_, rd(m_wen_));
+            t.assign(w_value_,
+                     mux(rd(m_kind_) == kKindLoad,
+                         rd(dmem_ifc.resp.msg)(31, 0),
+                         mux(rd(m_kind_) == kKindAccGo,
+                             rd(acc_ifc.resp.msg)(31, 0),
+                             rd(m_data_))));
+        });
+
+        // ---- M: phase transitions on request acceptance.
+        t.if_(rd(m_valid_) && !rd(m_done_) && (rd(m_phase_) == 0u), [&] {
+            t.if_(rd(dmem_ifc.req.val) && rd(dmem_ifc.req.rdy),
+                  [&] { t.assign(m_phase_, 1); });
+            t.if_(rd(acc_ifc.req.val) && rd(acc_ifc.req.rdy) &&
+                      (rd(m_kind_) == kKindAccGo),
+                  [&] { t.assign(m_phase_, 1); });
+        });
+        // ---- X -> M.
+        t.if_(rd(adv_x_), [&] {
+            IrExpr op = rd(x_op_);
+            t.assign(m_valid_, 1);
+            t.assign(m_kind_,
+                     mux(op == opc(Op::Lw), lit(3, kKindLoad),
+                     mux(op == opc(Op::Sw), lit(3, kKindStore),
+                     mux(op == opc(Op::Accx),
+                         mux(rd(x_imm_)(2, 0) == 0u,
+                             lit(3, kKindAccGo), lit(3, kKindAccCfg)),
+                         lit(3, kKindAlu)))));
+            t.assign(m_rd_, rd(x_rd_));
+            t.assign(m_wen_, rd(x_wen_));
+            t.assign(m_addr_,
+                     mux(op == opc(Op::Accx), rd(x_imm_),
+                         rd(x_a_) + rd(x_imm_)));
+            t.assign(m_data_,
+                     mux(op == opc(Op::Sw), rd(x_w_),
+                         mux(op == opc(Op::Accx), rd(x_a_),
+                             rd(x_alu_))));
+            t.assign(m_phase_, 0);
+        },
+        [&] {
+            t.if_(rd(adv_m_), [&] { t.assign(m_valid_, 0); });
+        });
+        // ---- D -> X.
+        t.if_(rd(adv_d_), [&] {
+            t.assign(x_valid_, 1);
+            t.assign(x_op_, rd(d_op_));
+            t.assign(x_rd_, rd(d_rd_));
+            t.assign(x_pc_, rd(d_pc_));
+            t.assign(x_imm_, rd(d_imm_));
+            t.assign(x_a_, rd(d_a_));
+            t.assign(x_b_, rd(d_b_));
+            t.assign(x_w_, rd(d_w_));
+        },
+        [&] {
+            t.if_(rd(adv_x_), [&] { t.assign(x_valid_, 0); });
+        });
+
+        // ---- Fetch: issue and receive (before redirect so a
+        // same-edge flush overrides these updates).
+        IrExpr push_ot = rd(imem_ifc.req.val) && rd(imem_ifc.req.rdy);
+        IrExpr pop_ot = rd(imem_ifc.resp.val) && rd(imem_ifc.resp.rdy);
+        t.if_(push_ot, [&] {
+            IrExpr sum = t.let("otsum",
+                               rd(ot_h_).zext(8) + rd(ot_c_).zext(8));
+            t.writeArray(ot_pc_, sum.slice(0, 2), rd(fetch_pc_));
+            t.writeArray(ot_ep_, sum.slice(0, 2), rd(epoch_));
+            t.assign(fetch_pc_, rd(fetch_pc_) + 4u);
+        });
+        IrExpr accept = t.let("accept",
+                              pop_ot && (aread(ot_ep_, rd(ot_h_)) ==
+                                         rd(epoch_)));
+        t.if_(pop_ot,
+              [&] { t.assign(ot_h_, rd(ot_h_) + 1u); });
+        t.assign(ot_c_, rd(ot_c_) + push_ot.zext(3) - pop_ot.zext(3));
+        t.if_(accept, [&] {
+            IrExpr sum = t.let("fbsum",
+                               rd(fb_h_).zext(8) + rd(fb_c_).zext(8));
+            t.writeArray(fb_pc_, sum.slice(0, 2),
+                         aread(ot_pc_, rd(ot_h_)));
+            t.writeArray(fb_inst_, sum.slice(0, 2),
+                         rd(imem_ifc.resp.msg)(31, 0));
+        });
+        t.assign(fb_c_,
+                 rd(fb_c_) + accept.zext(3) - rd(adv_d_).zext(3));
+        t.if_(rd(adv_d_), [&] { t.assign(fb_h_, rd(fb_h_) + 1u); });
+
+        // ---- Redirect (taken branch / jump / halt) flushes the
+        // front end; outstanding responses are discarded by epoch.
+        t.if_(rd(adv_x_) && rd(x_redirect_), [&] {
+            t.assign(epoch_, rd(epoch_) + 1u);
+            t.assign(fb_h_, 0);
+            t.assign(fb_c_, 0);
+            t.assign(fetch_pc_, rd(x_target_));
+            t.if_(rd(x_op_) == opc(Op::Halt),
+                  [&] { t.assign(halt_r_, 1); });
+        });
+    });
+}
+
+uint64_t
+ProcRTL5::numInsts() const
+{
+    return insts_.value().toUint64();
+}
+
+} // namespace tile
+} // namespace cmtl

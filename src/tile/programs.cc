@@ -1,0 +1,132 @@
+#include "programs.h"
+
+namespace cmtl {
+namespace tile {
+
+namespace {
+constexpr uint32_t kMatrixBase = 0x2000;
+
+// Register conventions for the generated programs.
+constexpr int rA = 1;    // current matrix row pointer
+constexpr int rX = 2;    // vector base
+constexpr int rRow = 3;  // row counter
+constexpr int rAcc = 4;  // accumulator
+constexpr int rT0 = 5;
+constexpr int rT1 = 6;
+constexpr int rY = 7;    // output pointer
+constexpr int rCnt = 8;  // inner counter
+constexpr int rXc = 9;   // current vector pointer
+constexpr int rN = 10;   // n
+} // namespace
+
+uint32_t
+mvmultElement(uint64_t seed, uint32_t index)
+{
+    uint64_t h = seed * 0x9e3779b97f4a7c15ull +
+                 static_cast<uint64_t>(index) * 0xbf58476d1ce4e5b9ull;
+    h ^= h >> 29;
+    return static_cast<uint32_t>(h & 0xff);
+}
+
+Workload
+makeMvmultScalar(int n, int unroll)
+{
+    if (n % unroll != 0)
+        unroll = 1;
+    Workload w;
+    w.n = n;
+    w.matrix_addr = kMatrixBase;
+    w.vector_addr = kMatrixBase + static_cast<uint32_t>(n) * n * 4;
+    w.out_addr = w.vector_addr + static_cast<uint32_t>(n) * 4;
+
+    Assembler a;
+    a.li(rA, w.matrix_addr);
+    a.li(rX, w.vector_addr);
+    a.li(rY, w.out_addr);
+    a.li(rN, static_cast<uint32_t>(n));
+    a.addi(rRow, 0, 0);
+    a.label("row");
+    a.addi(rAcc, 0, 0);
+    a.add(rXc, rX, 0);
+    a.addi(rCnt, rN, 0);
+    a.label("inner");
+    for (int k = 0; k < unroll; ++k) {
+        a.lw(rT0, rA, k * 4);
+        a.lw(rT1, rXc, k * 4);
+        a.mul(rT0, rT0, rT1);
+        a.add(rAcc, rAcc, rT0);
+    }
+    a.addi(rA, rA, unroll * 4);
+    a.addi(rXc, rXc, unroll * 4);
+    a.addi(rCnt, rCnt, -unroll);
+    a.bne(rCnt, 0, "inner");
+    a.sw(rAcc, rY, 0);
+    a.addi(rY, rY, 4);
+    a.addi(rRow, rRow, 1);
+    a.bne(rRow, rN, "row");
+    a.halt();
+    w.image = a.finish();
+    return w;
+}
+
+Workload
+makeMvmultAccel(int n)
+{
+    Workload w;
+    w.n = n;
+    w.matrix_addr = kMatrixBase;
+    w.vector_addr = kMatrixBase + static_cast<uint32_t>(n) * n * 4;
+    w.out_addr = w.vector_addr + static_cast<uint32_t>(n) * 4;
+
+    Assembler a;
+    a.li(rA, w.matrix_addr);
+    a.li(rX, w.vector_addr);
+    a.li(rY, w.out_addr);
+    a.li(rN, static_cast<uint32_t>(n));
+    a.accx(0, rN, 1); // size
+    a.accx(0, rX, 3); // src1 = vector, constant across rows
+    a.addi(rRow, 0, 0);
+    a.label("row");
+    a.accx(0, rA, 2);   // src0 = current row
+    a.accx(rAcc, 0, 0); // go; result -> rAcc
+    a.sw(rAcc, rY, 0);
+    a.addi(rA, rA, n * 4);
+    a.addi(rY, rY, 4);
+    a.addi(rRow, rRow, 1);
+    a.bne(rRow, rN, "row");
+    a.halt();
+    w.image = a.finish();
+    return w;
+}
+
+void
+loadMvmultData(stdlib::TestMemory &mem, const Workload &workload,
+               uint64_t seed)
+{
+    const uint32_t n = static_cast<uint32_t>(workload.n);
+    for (uint32_t i = 0; i < n * n; ++i)
+        mem.writeWord(workload.matrix_addr + i * 4,
+                      mvmultElement(seed, i));
+    for (uint32_t i = 0; i < n; ++i)
+        mem.writeWord(workload.vector_addr + i * 4,
+                      mvmultElement(seed + 1, i));
+}
+
+std::vector<uint32_t>
+expectedMvmult(const Workload &workload, uint64_t seed)
+{
+    const uint32_t n = static_cast<uint32_t>(workload.n);
+    std::vector<uint32_t> out(n, 0);
+    for (uint32_t r = 0; r < n; ++r) {
+        uint32_t acc = 0;
+        for (uint32_t i = 0; i < n; ++i) {
+            acc += mvmultElement(seed, r * n + i) *
+                   mvmultElement(seed + 1, i);
+        }
+        out[r] = acc;
+    }
+    return out;
+}
+
+} // namespace tile
+} // namespace cmtl

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Workload programs for the tile (paper Section III-C).
+ *
+ * The headline workload is a matrix-vector multiplication: n dot
+ * products of length n. Two versions exercise the tile: a scalar
+ * software implementation with a loop-unrolled inner loop (the
+ * paper's "traditional scalar implementation with loop-unrolling
+ * optimizations"), and an accelerated version that configures the
+ * dot-product coprocessor once per row.
+ */
+
+#ifndef CMTL_TILE_PROGRAMS_H
+#define CMTL_TILE_PROGRAMS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "stdlib/test_memory.h"
+#include "tile/isa.h"
+
+namespace cmtl {
+namespace tile {
+
+/** A program plus its data-section layout. */
+struct Workload
+{
+    std::vector<uint32_t> image;
+    uint32_t matrix_addr;
+    uint32_t vector_addr;
+    uint32_t out_addr;
+    int n;
+};
+
+/** Scalar mvmult with the inner loop unrolled by @p unroll. */
+Workload makeMvmultScalar(int n, int unroll = 4);
+
+/** Accelerated mvmult using the dot-product coprocessor. */
+Workload makeMvmultAccel(int n);
+
+/** Deterministic input data for an n x n mvmult. */
+void loadMvmultData(stdlib::TestMemory &mem, const Workload &workload,
+                    uint64_t seed = 1);
+
+/** Host-computed expected output vector. */
+std::vector<uint32_t> expectedMvmult(const Workload &workload,
+                                     uint64_t seed = 1);
+
+/** The value stored at matrix/vector position, shared by all paths. */
+uint32_t mvmultElement(uint64_t seed, uint32_t index);
+
+} // namespace tile
+} // namespace cmtl
+
+#endif // CMTL_TILE_PROGRAMS_H

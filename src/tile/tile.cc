@@ -1,0 +1,105 @@
+#include "tile.h"
+
+#include <stdexcept>
+
+namespace cmtl {
+namespace tile {
+
+Tile::Tile(const std::string &name, Level proc_level, Level cache_level,
+           Level accel_level, int mem_latency)
+    : Model(nullptr, name), proc_level_(proc_level),
+      cache_level_(cache_level), accel_level_(accel_level)
+{
+    build(proc_level, cache_level, accel_level, mem_latency,
+          /*external_memory=*/false);
+}
+
+Tile::Tile(Model *parent, const std::string &name, Level proc_level,
+           Level cache_level, Level accel_level, ExternalMemory)
+    : Model(parent, name), proc_level_(proc_level),
+      cache_level_(cache_level), accel_level_(accel_level)
+{
+    build(proc_level, cache_level, accel_level, /*mem_latency=*/0,
+          /*external_memory=*/true);
+}
+
+void
+Tile::build(Level proc_level, Level cache_level, Level accel_level,
+            int mem_latency, bool external_memory)
+{
+    switch (proc_level) {
+      case Level::FL:
+        proc_ = std::make_unique<ProcFL>(this, "proc");
+        break;
+      case Level::CL:
+        proc_ = std::make_unique<ProcCL>(this, "proc");
+        break;
+      case Level::RTL:
+        // The paper's tile uses a 5-stage pipelined RISC processor.
+        proc_ = std::make_unique<ProcRTL5>(this, "proc");
+        break;
+    }
+    auto make_cache = [&](const std::string &cname)
+        -> std::unique_ptr<CacheBase> {
+        switch (cache_level) {
+          case Level::FL:
+            return std::make_unique<CacheFL>(this, cname);
+          case Level::CL:
+            return std::make_unique<CacheCL>(this, cname);
+          case Level::RTL:
+            return std::make_unique<CacheRTL>(this, cname);
+        }
+        return nullptr;
+    };
+    icache_ = make_cache("icache");
+    dcache_ = make_cache("dcache");
+    switch (accel_level) {
+      case Level::FL:
+        accel_ = std::make_unique<DotProductFL>(this, "accel");
+        break;
+      case Level::CL:
+        accel_ = std::make_unique<DotProductCL>(this, "accel");
+        break;
+      case Level::RTL:
+        accel_ = std::make_unique<DotProductRTL>(this, "accel");
+        break;
+    }
+    arbiter_ = std::make_unique<MemArbiter>(this, "arbiter");
+
+    // Fetch path: processor -> icache; data path: processor and
+    // accelerator share the dcache through the arbiter.
+    connectReqResp(*this, proc_->imem_ifc, icache_->proc_ifc);
+    connectReqResp(*this, proc_->dmem_ifc, arbiter_->port(0));
+    connectReqResp(*this, accel_->mem_ifc, arbiter_->port(1));
+    connectReqResp(*this, arbiter_->memPort(), dcache_->proc_ifc);
+    connectReqResp(*this, proc_->acc_ifc, accel_->cpu_ifc);
+
+    if (external_memory) {
+        // Export the refill ports for an external memory system.
+        imem_port_ = std::make_unique<ParentReqRespBundle>(
+            this, "imem_port", memIfcTypes());
+        dmem_port_ = std::make_unique<ParentReqRespBundle>(
+            this, "dmem_port", memIfcTypes());
+        connectReqResp(*this, icache_->mem_ifc, *imem_port_);
+        connectReqResp(*this, dcache_->mem_ifc, *dmem_port_);
+    } else {
+        mem_ = std::make_unique<stdlib::TestMemory>(this, "mem", 2,
+                                                    mem_latency);
+        connectReqResp(*this, icache_->mem_ifc, mem_->ifc[0]);
+        connectReqResp(*this, dcache_->mem_ifc, mem_->ifc[1]);
+    }
+}
+
+void
+Tile::loadProgram(const std::vector<uint32_t> &image)
+{
+    if (!mem_)
+        throw std::logic_error(
+            "loadProgram: tile has external memory; load the program "
+            "into the memory node instead");
+    for (size_t i = 0; i < image.size(); ++i)
+        mem_->writeWord(static_cast<uint64_t>(i) * 4, image[i]);
+}
+
+} // namespace tile
+} // namespace cmtl

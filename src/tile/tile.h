@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The accelerator-augmented compute tile (paper Figure 5a).
+ *
+ * Composes a processor, L1 instruction and data caches, a dot-product
+ * accelerator and a shared-port arbiter, each independently at FL, CL
+ * or RTL — the 27 ⟨P, C, A⟩ configurations of the paper's Figure 13 —
+ * plus a backing test memory.
+ */
+
+#ifndef CMTL_TILE_TILE_H
+#define CMTL_TILE_TILE_H
+
+#include <memory>
+#include <string>
+
+#include "stdlib/test_memory.h"
+#include "tile/arbiter.h"
+#include "tile/cache.h"
+#include "tile/dotprod.h"
+#include "tile/proc.h"
+
+namespace cmtl {
+namespace tile {
+
+/** Abstraction level of one tile component. */
+enum class Level { FL, CL, RTL };
+
+inline const char *
+levelName(Level level)
+{
+    switch (level) {
+      case Level::FL: return "FL";
+      case Level::CL: return "CL";
+      case Level::RTL: return "RTL";
+    }
+    return "?";
+}
+
+/** Level-of-detail score: FL=1, CL=2, RTL=3 (paper Figure 13). */
+inline int
+lodScore(Level level)
+{
+    return static_cast<int>(level) + 1;
+}
+
+/** The composed tile. */
+class Tile : public Model
+{
+  public:
+    /**
+     * @param proc_level / cache_level / accel_level abstraction level
+     *        of each component
+     * @param mem_latency backing-memory latency in cycles
+     */
+    Tile(const std::string &name, Level proc_level, Level cache_level,
+         Level accel_level, int mem_latency = 2);
+
+    /**
+     * A tile without backing memory, for multi-tile systems: the L1
+     * refill ports are exported as imemPort()/dmemPort() and must be
+     * connected externally (e.g. through a network bridge).
+     */
+    struct ExternalMemory
+    {};
+    Tile(Model *parent, const std::string &name, Level proc_level,
+         Level cache_level, Level accel_level, ExternalMemory);
+
+    ProcessorBase &proc() { return *proc_; }
+    CacheBase &icache() { return *icache_; }
+    CacheBase &dcache() { return *dcache_; }
+    /** Backing memory; only with the self-contained constructor. */
+    stdlib::TestMemory &mem() { return *mem_; }
+    bool hasMemory() const { return mem_ != nullptr; }
+    /** Exported refill ports (external-memory tiles only). */
+    ParentReqRespBundle &imemPort() { return *imem_port_; }
+    ParentReqRespBundle &dmemPort() { return *dmem_port_; }
+
+    Level procLevel() const { return proc_level_; }
+    Level cacheLevel() const { return cache_level_; }
+    Level accelLevel() const { return accel_level_; }
+    int lod() const
+    {
+        return lodScore(proc_level_) + lodScore(cache_level_) +
+               lodScore(accel_level_);
+    }
+    std::string
+    configName() const
+    {
+        return std::string(levelName(proc_level_)) + "-" +
+               levelName(cache_level_) + "-" + levelName(accel_level_);
+    }
+
+    /** Load a program image at address 0. */
+    void loadProgram(const std::vector<uint32_t> &image);
+
+    bool halted() const { return proc_->halted.u64() != 0; }
+
+  private:
+    void build(Level proc_level, Level cache_level, Level accel_level,
+               int mem_latency, bool external_memory);
+
+    Level proc_level_, cache_level_, accel_level_;
+    std::unique_ptr<ProcessorBase> proc_;
+    std::unique_ptr<CacheBase> icache_;
+    std::unique_ptr<CacheBase> dcache_;
+    std::unique_ptr<DotProductBase> accel_;
+    std::unique_ptr<MemArbiter> arbiter_;
+    std::unique_ptr<stdlib::TestMemory> mem_;
+    std::unique_ptr<ParentReqRespBundle> imem_port_;
+    std::unique_ptr<ParentReqRespBundle> dmem_port_;
+};
+
+} // namespace tile
+} // namespace cmtl
+
+#endif // CMTL_TILE_TILE_H

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "core/bitstruct.h"
+
+namespace cmtl {
+namespace {
+
+BitStructLayout
+netMsgLayout()
+{
+    // Paper's NetMsg: dest, src, opaque, payload (first field = MSBs).
+    return BitStructLayout("NetMsg", {{"dest", 6},
+                                      {"src", 6},
+                                      {"opaque", 4},
+                                      {"payload", 16}});
+}
+
+TEST(BitStruct, WidthAndOffsets)
+{
+    BitStructLayout layout = netMsgLayout();
+    EXPECT_EQ(layout.nbits(), 32);
+    EXPECT_EQ(layout.field("dest").lsb, 26);
+    EXPECT_EQ(layout.field("src").lsb, 20);
+    EXPECT_EQ(layout.field("opaque").lsb, 16);
+    EXPECT_EQ(layout.field("payload").lsb, 0);
+    EXPECT_TRUE(layout.hasField("src"));
+    EXPECT_FALSE(layout.hasField("bogus"));
+    EXPECT_THROW(layout.field("bogus"), std::out_of_range);
+}
+
+TEST(BitStruct, PackAndGet)
+{
+    BitStructLayout layout = netMsgLayout();
+    Bits msg = layout.pack({9, 3, 5, 0xbeef});
+    EXPECT_EQ(layout.get(msg, "dest").toUint64(), 9u);
+    EXPECT_EQ(layout.get(msg, "src").toUint64(), 3u);
+    EXPECT_EQ(layout.get(msg, "opaque").toUint64(), 5u);
+    EXPECT_EQ(layout.get(msg, "payload").toUint64(), 0xbeefu);
+    EXPECT_THROW(layout.pack({1, 2}), std::invalid_argument);
+}
+
+TEST(BitStruct, SetPreservesOtherFields)
+{
+    BitStructLayout layout = netMsgLayout();
+    Bits msg = layout.pack({9, 3, 5, 0xbeef});
+    Bits updated = layout.set(msg, "src", 42);
+    EXPECT_EQ(layout.get(updated, "src").toUint64(), 42u);
+    EXPECT_EQ(layout.get(updated, "dest").toUint64(), 9u);
+    EXPECT_EQ(layout.get(updated, "payload").toUint64(), 0xbeefu);
+}
+
+TEST(BitStruct, SetTruncatesWideValues)
+{
+    BitStructLayout layout = netMsgLayout();
+    Bits msg(32, 0);
+    Bits updated = layout.set(msg, "opaque", Bits(16, 0x123));
+    EXPECT_EQ(layout.get(updated, "opaque").toUint64(), 0x3u);
+}
+
+TEST(BitStruct, SingleField)
+{
+    BitStructLayout layout("Raw", {{"data", 64}});
+    EXPECT_EQ(layout.nbits(), 64);
+    Bits msg = layout.pack({~uint64_t(0)});
+    EXPECT_EQ(layout.get(msg, "data").toUint64(), ~uint64_t(0));
+}
+
+TEST(BitStruct, RejectsZeroWidthFields)
+{
+    EXPECT_THROW(BitStructLayout("Bad", {{"x", 0}}),
+                 std::invalid_argument);
+}
+
+TEST(BitStruct, TraceFormatting)
+{
+    BitStructLayout layout("T", {{"a", 4}, {"b", 4}});
+    Bits msg = layout.pack({0xa, 0x5});
+    EXPECT_EQ(layout.trace(msg), "a:0xa|b:0x5");
+}
+
+} // namespace
+} // namespace cmtl

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "tile/isa.h"
+#include "tile/programs.h"
+
+namespace cmtl {
+namespace tile {
+namespace {
+
+TEST(Isa, EncodeDecodeRoundTrip)
+{
+    uint32_t inst = encodeR(Op::Mul, 3, 4, 5);
+    DecodedInst d = decode(inst);
+    EXPECT_EQ(d.op, Op::Mul);
+    EXPECT_EQ(d.rd, 3);
+    EXPECT_EQ(d.rs1, 4);
+    EXPECT_EQ(d.rs2, 5);
+    EXPECT_TRUE(d.isRType());
+
+    uint32_t i2 = encodeI(Op::Addi, 7, 2, -5);
+    DecodedInst d2 = decode(i2);
+    EXPECT_EQ(d2.op, Op::Addi);
+    EXPECT_EQ(d2.rd, 7);
+    EXPECT_EQ(d2.rs1, 2);
+    EXPECT_EQ(d2.imm, -5);
+    EXPECT_FALSE(d2.isRType());
+}
+
+TEST(Isa, DisassembleIsReadable)
+{
+    EXPECT_EQ(disassemble(encodeI(Op::Addi, 3, 3, -1)),
+              "addi r3, r3, -1");
+    EXPECT_EQ(disassemble(encodeR(Op::Add, 0, 0, 0)), "nop");
+    EXPECT_EQ(disassemble(encodeI(Op::Halt, 0, 0, 0)), "halt");
+    EXPECT_EQ(disassemble(encodeI(Op::Lw, 5, 1, 8)), "lw r5, 8(r1)");
+}
+
+TEST(Assembler, BranchFixupsResolve)
+{
+    Assembler a;
+    a.addi(1, 0, 3);
+    a.label("loop");
+    a.addi(1, 1, -1);
+    a.bne(1, 0, "loop");
+    a.halt();
+    auto image = a.finish();
+    ASSERT_EQ(image.size(), 4u);
+    // bne at word 2 targets word 1: offset = (4 - (8+4))/4 = -2.
+    DecodedInst d = decode(image[2]);
+    EXPECT_EQ(d.op, Op::Bne);
+    EXPECT_EQ(d.imm, -2);
+}
+
+TEST(Assembler, UndefinedLabelThrows)
+{
+    Assembler a;
+    a.bne(1, 0, "nowhere");
+    EXPECT_THROW(a.finish(), std::invalid_argument);
+}
+
+TEST(Assembler, DuplicateLabelThrows)
+{
+    Assembler a;
+    a.label("x");
+    EXPECT_THROW(a.label("x"), std::invalid_argument);
+}
+
+TEST(Assembler, LiHandlesFullRange)
+{
+    for (uint32_t value : {0u, 1u, 0x7fffu, 0x8000u, 0x12345678u,
+                           0xffffffffu, 0xdead8000u}) {
+        Assembler a;
+        a.li(1, value);
+        a.halt();
+        GoldenIss iss(a.finish());
+        iss.run();
+        EXPECT_EQ(iss.reg(1), value) << std::hex << value;
+    }
+}
+
+TEST(GoldenIss, ArithmeticAndBranches)
+{
+    // Sum 1..10 via a loop.
+    Assembler a;
+    a.addi(1, 0, 10); // counter
+    a.addi(2, 0, 0);  // sum
+    a.label("loop");
+    a.add(2, 2, 1);
+    a.addi(1, 1, -1);
+    a.bne(1, 0, "loop");
+    a.halt();
+    GoldenIss iss(a.finish());
+    uint64_t n = iss.run();
+    EXPECT_TRUE(iss.halted());
+    EXPECT_EQ(iss.reg(2), 55u);
+    EXPECT_EQ(n, 2 + 3 * 10 + 1u);
+}
+
+TEST(GoldenIss, LoadsAndStores)
+{
+    Assembler a;
+    a.li(1, 0x1000);
+    a.lw(2, 1, 0);
+    a.addi(2, 2, 1);
+    a.sw(2, 1, 4);
+    a.halt();
+    GoldenIss iss(a.finish());
+    iss.writeMem(0x1000, 41);
+    iss.run();
+    EXPECT_EQ(iss.readMem(0x1004), 42u);
+}
+
+TEST(GoldenIss, SignedOps)
+{
+    Assembler a;
+    a.addi(1, 0, -3);
+    a.addi(2, 0, 2);
+    a.slt(3, 1, 2); // -3 < 2 -> 1
+    a.slt(4, 2, 1); // 2 < -3 -> 0
+    a.blt(1, 2, "taken");
+    a.addi(5, 0, 99); // skipped
+    a.label("taken");
+    a.halt();
+    GoldenIss iss(a.finish());
+    iss.run();
+    EXPECT_EQ(iss.reg(3), 1u);
+    EXPECT_EQ(iss.reg(4), 0u);
+    EXPECT_EQ(iss.reg(5), 0u);
+}
+
+TEST(GoldenIss, R0IsHardwiredZero)
+{
+    Assembler a;
+    a.addi(0, 0, 77);
+    a.add(1, 0, 0);
+    a.halt();
+    GoldenIss iss(a.finish());
+    iss.run();
+    EXPECT_EQ(iss.reg(0), 0u);
+    EXPECT_EQ(iss.reg(1), 0u);
+}
+
+TEST(GoldenIss, AcceleratorProtocol)
+{
+    Assembler a;
+    a.li(1, 0x100); // src0
+    a.li(2, 0x200); // src1
+    a.addi(3, 0, 3); // size
+    a.accx(0, 3, 1);
+    a.accx(0, 1, 2);
+    a.accx(0, 2, 3);
+    a.accx(4, 0, 0);
+    a.halt();
+    GoldenIss iss(a.finish());
+    for (uint32_t i = 0; i < 3; ++i) {
+        iss.writeMem(0x100 + i * 4, i + 1); // 1 2 3
+        iss.writeMem(0x200 + i * 4, 10);    // 10 10 10
+    }
+    iss.run();
+    EXPECT_EQ(iss.reg(4), 60u);
+}
+
+TEST(Programs, ScalarAndAccelMvmultAgreeOnGoldenIss)
+{
+    const int n = 8;
+    for (bool accel : {false, true}) {
+        Workload w = accel ? makeMvmultAccel(n) : makeMvmultScalar(n, 4);
+        GoldenIss iss(w.image);
+        for (uint32_t i = 0; i < static_cast<uint32_t>(n * n); ++i)
+            iss.writeMem(w.matrix_addr + i * 4, mvmultElement(1, i));
+        for (uint32_t i = 0; i < static_cast<uint32_t>(n); ++i)
+            iss.writeMem(w.vector_addr + i * 4, mvmultElement(2, i));
+        uint64_t executed = iss.run(10000000);
+        EXPECT_TRUE(iss.halted()) << (accel ? "accel" : "scalar");
+        EXPECT_GT(executed, 0u);
+        auto expect = expectedMvmult(w, 1);
+        for (int r = 0; r < n; ++r) {
+            EXPECT_EQ(iss.readMem(w.out_addr + r * 4), expect[r])
+                << "row " << r << (accel ? " accel" : " scalar");
+        }
+    }
+}
+
+} // namespace
+} // namespace tile
+} // namespace cmtl
