@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bits.cc" "src/core/CMakeFiles/cmtl_core.dir/bits.cc.o" "gcc" "src/core/CMakeFiles/cmtl_core.dir/bits.cc.o.d"
+  "/root/repo/src/core/bitstruct.cc" "src/core/CMakeFiles/cmtl_core.dir/bitstruct.cc.o" "gcc" "src/core/CMakeFiles/cmtl_core.dir/bitstruct.cc.o.d"
+  "/root/repo/src/core/graph.cc" "src/core/CMakeFiles/cmtl_core.dir/graph.cc.o" "gcc" "src/core/CMakeFiles/cmtl_core.dir/graph.cc.o.d"
+  "/root/repo/src/core/ir.cc" "src/core/CMakeFiles/cmtl_core.dir/ir.cc.o" "gcc" "src/core/CMakeFiles/cmtl_core.dir/ir.cc.o.d"
+  "/root/repo/src/core/ir_bytecode.cc" "src/core/CMakeFiles/cmtl_core.dir/ir_bytecode.cc.o" "gcc" "src/core/CMakeFiles/cmtl_core.dir/ir_bytecode.cc.o.d"
+  "/root/repo/src/core/ir_cpp.cc" "src/core/CMakeFiles/cmtl_core.dir/ir_cpp.cc.o" "gcc" "src/core/CMakeFiles/cmtl_core.dir/ir_cpp.cc.o.d"
+  "/root/repo/src/core/ir_eval.cc" "src/core/CMakeFiles/cmtl_core.dir/ir_eval.cc.o" "gcc" "src/core/CMakeFiles/cmtl_core.dir/ir_eval.cc.o.d"
+  "/root/repo/src/core/jit_cpp.cc" "src/core/CMakeFiles/cmtl_core.dir/jit_cpp.cc.o" "gcc" "src/core/CMakeFiles/cmtl_core.dir/jit_cpp.cc.o.d"
+  "/root/repo/src/core/lint.cc" "src/core/CMakeFiles/cmtl_core.dir/lint.cc.o" "gcc" "src/core/CMakeFiles/cmtl_core.dir/lint.cc.o.d"
+  "/root/repo/src/core/model.cc" "src/core/CMakeFiles/cmtl_core.dir/model.cc.o" "gcc" "src/core/CMakeFiles/cmtl_core.dir/model.cc.o.d"
+  "/root/repo/src/core/sim.cc" "src/core/CMakeFiles/cmtl_core.dir/sim.cc.o" "gcc" "src/core/CMakeFiles/cmtl_core.dir/sim.cc.o.d"
+  "/root/repo/src/core/stats.cc" "src/core/CMakeFiles/cmtl_core.dir/stats.cc.o" "gcc" "src/core/CMakeFiles/cmtl_core.dir/stats.cc.o.d"
+  "/root/repo/src/core/store.cc" "src/core/CMakeFiles/cmtl_core.dir/store.cc.o" "gcc" "src/core/CMakeFiles/cmtl_core.dir/store.cc.o.d"
+  "/root/repo/src/core/translate.cc" "src/core/CMakeFiles/cmtl_core.dir/translate.cc.o" "gcc" "src/core/CMakeFiles/cmtl_core.dir/translate.cc.o.d"
+  "/root/repo/src/core/vcd.cc" "src/core/CMakeFiles/cmtl_core.dir/vcd.cc.o" "gcc" "src/core/CMakeFiles/cmtl_core.dir/vcd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmtl_core.dir/bits.cc.o"
+  "CMakeFiles/cmtl_core.dir/bits.cc.o.d"
+  "CMakeFiles/cmtl_core.dir/bitstruct.cc.o"
+  "CMakeFiles/cmtl_core.dir/bitstruct.cc.o.d"
+  "CMakeFiles/cmtl_core.dir/graph.cc.o"
+  "CMakeFiles/cmtl_core.dir/graph.cc.o.d"
+  "CMakeFiles/cmtl_core.dir/ir.cc.o"
+  "CMakeFiles/cmtl_core.dir/ir.cc.o.d"
+  "CMakeFiles/cmtl_core.dir/ir_bytecode.cc.o"
+  "CMakeFiles/cmtl_core.dir/ir_bytecode.cc.o.d"
+  "CMakeFiles/cmtl_core.dir/ir_cpp.cc.o"
+  "CMakeFiles/cmtl_core.dir/ir_cpp.cc.o.d"
+  "CMakeFiles/cmtl_core.dir/ir_eval.cc.o"
+  "CMakeFiles/cmtl_core.dir/ir_eval.cc.o.d"
+  "CMakeFiles/cmtl_core.dir/jit_cpp.cc.o"
+  "CMakeFiles/cmtl_core.dir/jit_cpp.cc.o.d"
+  "CMakeFiles/cmtl_core.dir/lint.cc.o"
+  "CMakeFiles/cmtl_core.dir/lint.cc.o.d"
+  "CMakeFiles/cmtl_core.dir/model.cc.o"
+  "CMakeFiles/cmtl_core.dir/model.cc.o.d"
+  "CMakeFiles/cmtl_core.dir/sim.cc.o"
+  "CMakeFiles/cmtl_core.dir/sim.cc.o.d"
+  "CMakeFiles/cmtl_core.dir/stats.cc.o"
+  "CMakeFiles/cmtl_core.dir/stats.cc.o.d"
+  "CMakeFiles/cmtl_core.dir/store.cc.o"
+  "CMakeFiles/cmtl_core.dir/store.cc.o.d"
+  "CMakeFiles/cmtl_core.dir/translate.cc.o"
+  "CMakeFiles/cmtl_core.dir/translate.cc.o.d"
+  "CMakeFiles/cmtl_core.dir/vcd.cc.o"
+  "CMakeFiles/cmtl_core.dir/vcd.cc.o.d"
+  "libcmtl_core.a"
+  "libcmtl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmtl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
