@@ -1,0 +1,718 @@
+#include "analyze.h"
+
+#include <algorithm>
+
+#include "ir_eval.h"
+
+namespace cmtl {
+
+// ------------------------------------------------------- check catalog
+
+const std::vector<AnalyzeCheck> &
+analyzeCheckCatalog()
+{
+    static const std::vector<AnalyzeCheck> catalog = {
+        {"latch-inferred", LintSeverity::Error,
+         "combinational block misses a target signal on some path"},
+        {"temp-read-before-write", LintSeverity::Error,
+         "block-local temp read before any assignment"},
+        {"comb-read-own-write", LintSeverity::Warning,
+         "combinational block reads a signal it assigns later"},
+        {"slice-out-of-range", LintSeverity::Error,
+         "slice/bit select outside the operand width"},
+        {"index-out-of-range", LintSeverity::Error,
+         "array index is provably outside the array depth"},
+        {"index-may-exceed", LintSeverity::Warning,
+         "array index upper bound exceeds the array depth"},
+        {"lossy-truncation", LintSeverity::Warning,
+         "assignment implicitly truncates a wider value"},
+        {"constant-condition", LintSeverity::Warning,
+         "if/mux condition constant-folds; branch is dead logic"},
+        {"nonblocking-in-comb", LintSeverity::Error,
+         "non-blocking assignment in a combinational block"},
+        {"blocking-in-seq", LintSeverity::Error,
+         "blocking signal assignment in a sequential block"},
+        {"awrite-in-comb", LintSeverity::Error,
+         "array write in a combinational block"},
+    };
+    return catalog;
+}
+
+// ------------------------------------------------------ AnalyzeOptions
+
+AnalyzeOptions &
+AnalyzeOptions::suppress(const std::string &check)
+{
+    suppressed_.insert(check);
+    return *this;
+}
+
+AnalyzeOptions &
+AnalyzeOptions::setSeverity(const std::string &check, LintSeverity severity)
+{
+    severity_[check] = severity;
+    return *this;
+}
+
+bool
+AnalyzeOptions::isSuppressed(const std::string &check) const
+{
+    return suppressed_.count(check) > 0;
+}
+
+LintSeverity
+AnalyzeOptions::effectiveSeverity(const std::string &check,
+                                  LintSeverity fallback) const
+{
+    auto it = severity_.find(check);
+    return it == severity_.end() ? fallback : it->second;
+}
+
+void
+AnalyzeOptions::emit(std::vector<LintIssue> &issues, LintSeverity fallback,
+                     const std::string &check,
+                     const std::string &message) const
+{
+    if (isSuppressed(check))
+        return;
+    issues.push_back({effectiveSeverity(check, fallback), check, message});
+}
+
+// ----------------------------------------------------- constant folder
+
+std::optional<Bits>
+irConstFold(const IrExprPtr &e)
+{
+    return irConstFold(e.get());
+}
+
+std::optional<Bits>
+irConstFold(const IrExprNode *e)
+{
+    if (!e)
+        return std::nullopt;
+    switch (e->kind) {
+      case IrExprNode::Kind::Const:
+        return e->cval;
+      case IrExprNode::Kind::Ref:
+      case IrExprNode::Kind::Temp:
+      case IrExprNode::Kind::ARead:
+        return std::nullopt; // depends on run-time state
+      case IrExprNode::Kind::BinOp: {
+        auto a = irConstFold(e->args[0]);
+        auto b = irConstFold(e->args[1]);
+        if (!a || !b)
+            return std::nullopt;
+        return irEvalBinOp(e->op, *a, *b, e->nbits);
+      }
+      case IrExprNode::Kind::UnOp: {
+        auto a = irConstFold(e->args[0]);
+        if (!a)
+            return std::nullopt;
+        return irEvalUnOp(e->unop, *a);
+      }
+      case IrExprNode::Kind::Slice: {
+        auto a = irConstFold(e->args[0]);
+        if (!a || e->lsb < 0 || e->lsb + e->nbits > a->nbits())
+            return std::nullopt; // malformed: reported by range check
+        return a->slice(e->lsb, e->nbits);
+      }
+      case IrExprNode::Kind::Concat: {
+        Bits out(e->nbits);
+        int pos = e->nbits;
+        for (const auto &arg : e->args) {
+            auto part = irConstFold(arg);
+            if (!part)
+                return std::nullopt;
+            pos -= arg->nbits;
+            if (pos < 0)
+                return std::nullopt;
+            out.setSlice(pos, *part);
+        }
+        return out;
+      }
+      case IrExprNode::Kind::Mux: {
+        auto cond = irConstFold(e->args[0]);
+        if (!cond)
+            return std::nullopt;
+        auto arm = irConstFold(cond->any() ? e->args[1] : e->args[2]);
+        if (!arm)
+            return std::nullopt;
+        return arm->zext(e->nbits);
+      }
+      case IrExprNode::Kind::Zext: {
+        auto a = irConstFold(e->args[0]);
+        if (!a)
+            return std::nullopt;
+        return a->zext(e->nbits);
+      }
+      case IrExprNode::Kind::Sext: {
+        auto a = irConstFold(e->args[0]);
+        if (!a)
+            return std::nullopt;
+        return a->sext(e->nbits);
+      }
+    }
+    return std::nullopt;
+}
+
+// ------------------------------------------------------- value bounds
+
+namespace {
+
+uint64_t
+widthBound(int nbits)
+{
+    return nbits >= 64 ? ~uint64_t(0)
+                       : ((uint64_t(1) << nbits) - 1);
+}
+
+uint64_t
+satAdd(uint64_t a, uint64_t b)
+{
+    uint64_t s = a + b;
+    return s < a ? ~uint64_t(0) : s;
+}
+
+uint64_t
+satMul(uint64_t a, uint64_t b)
+{
+    if (a == 0 || b == 0)
+        return 0;
+    if (a > ~uint64_t(0) / b)
+        return ~uint64_t(0);
+    return a * b;
+}
+
+uint64_t
+satShl(uint64_t a, uint64_t amount)
+{
+    if (a == 0)
+        return 0;
+    if (amount >= 64 || a > (~uint64_t(0) >> amount))
+        return ~uint64_t(0);
+    return a << amount;
+}
+
+} // namespace
+
+uint64_t
+irMaxBound(const IrExprPtr &e)
+{
+    if (!e)
+        return ~uint64_t(0);
+    const uint64_t w = widthBound(e->nbits);
+    if (auto folded = irConstFold(e); folded && folded->fitsUint64())
+        return folded->toUint64();
+    switch (e->kind) {
+      case IrExprNode::Kind::Const:
+        return e->cval.fitsUint64() ? e->cval.toUint64() : w;
+      case IrExprNode::Kind::Ref:
+      case IrExprNode::Kind::Temp:
+      case IrExprNode::Kind::ARead:
+        return w;
+      case IrExprNode::Kind::BinOp: {
+        uint64_t a = irMaxBound(e->args[0]);
+        uint64_t b = irMaxBound(e->args[1]);
+        switch (e->op) {
+          case IrOp::Add: return std::min(satAdd(a, b), w);
+          case IrOp::Mul: return std::min(satMul(a, b), w);
+          case IrOp::And: return std::min({a, b, w});
+          case IrOp::Or:
+          case IrOp::Xor: return std::min(satAdd(a, b), w);
+          case IrOp::Shr:
+            // Bound of the lhs is only a sound magnitude bound when
+            // the lhs value itself fits a machine word.
+            if (e->args[0]->nbits <= 64) {
+                if (auto c = irConstFold(e->args[1]);
+                    c && c->fitsUint64()) {
+                    uint64_t amt = c->toUint64();
+                    return amt >= 64 ? 0 : std::min(a >> amt, w);
+                }
+                return std::min(a, w);
+            }
+            return w;
+          case IrOp::Shl:
+            if (auto c = irConstFold(e->args[1]); c && c->fitsUint64())
+                return std::min(satShl(a, c->toUint64()), w);
+            return w;
+          case IrOp::Eq: case IrOp::Ne: case IrOp::Lt: case IrOp::Le:
+          case IrOp::Gt: case IrOp::Ge: case IrOp::LAnd: case IrOp::LOr:
+            return 1;
+          default:
+            return w;
+        }
+      }
+      case IrExprNode::Kind::UnOp:
+        switch (e->unop) {
+          case IrUnOp::LNot:
+          case IrUnOp::ReduceOr:
+          case IrUnOp::ReduceAnd:
+          case IrUnOp::ReduceXor:
+            return 1;
+          default:
+            return w;
+        }
+      case IrExprNode::Kind::Slice:
+        if (e->args[0]->nbits <= 64 && e->lsb >= 0 && e->lsb < 64)
+            return std::min(irMaxBound(e->args[0]) >> e->lsb, w);
+        return w;
+      case IrExprNode::Kind::Concat: {
+        uint64_t acc = 0;
+        for (const auto &arg : e->args)
+            acc = satAdd(satShl(acc, arg->nbits), irMaxBound(arg));
+        return std::min(acc, w);
+      }
+      case IrExprNode::Kind::Mux:
+        return std::min(
+            std::max(irMaxBound(e->args[1]), irMaxBound(e->args[2])), w);
+      case IrExprNode::Kind::Zext:
+        return std::min(irMaxBound(e->args[0]), w);
+      case IrExprNode::Kind::Sext: {
+        const IrExprPtr &arg = e->args[0];
+        if (arg->nbits <= 64) {
+            uint64_t a = irMaxBound(arg);
+            // If the sign bit can never be set, sext behaves as zext.
+            if (a < (uint64_t(1) << (arg->nbits - 1)))
+                return std::min(a, w);
+        }
+        return w;
+      }
+    }
+    return w;
+}
+
+// ------------------------------------------------------- BlockAnalyzer
+
+namespace {
+
+/** Which bits of one signal are definitely assigned on this path. */
+class Cover
+{
+  public:
+    Cover() = default;
+    explicit Cover(int nbits) : bits_(nbits, false) {}
+
+    void
+    cover(int lsb, int width)
+    {
+        if (bits_.empty())
+            return;
+        int hi = std::min<int>(lsb + width, static_cast<int>(bits_.size()));
+        for (int i = std::max(lsb, 0); i < hi; ++i)
+            bits_[i] = true;
+    }
+
+    void coverAll() { std::fill(bits_.begin(), bits_.end(), true); }
+
+    bool
+    full() const
+    {
+        return std::all_of(bits_.begin(), bits_.end(),
+                           [](bool b) { return b; });
+    }
+
+    void
+    intersect(const Cover &o)
+    {
+        for (size_t i = 0; i < bits_.size(); ++i)
+            bits_[i] = bits_[i] && i < o.bits_.size() && o.bits_[i];
+    }
+
+    /** Inclusive [msb:lsb] range covering all unassigned bits. */
+    std::pair<int, int>
+    missingRange() const
+    {
+        int lo = -1, hi = -1;
+        for (size_t i = 0; i < bits_.size(); ++i) {
+            if (!bits_[i]) {
+                if (lo < 0)
+                    lo = static_cast<int>(i);
+                hi = static_cast<int>(i);
+            }
+        }
+        return {hi, lo};
+    }
+
+  private:
+    std::vector<bool> bits_;
+};
+
+/** Definite-assignment state along one control path. */
+struct PathState
+{
+    std::map<const Signal *, Cover> sigs;
+    std::set<int> temps;
+
+    bool
+    fullyAssigned(const Signal *sig) const
+    {
+        auto it = sigs.find(sig);
+        return it != sigs.end() && it->second.full();
+    }
+};
+
+/** Intersection of two branch states (both derived from one base). */
+PathState
+mergeStates(const PathState &a, const PathState &b)
+{
+    PathState out;
+    for (const auto &[sig, cover] : a.sigs) {
+        auto it = b.sigs.find(sig);
+        if (it == b.sigs.end())
+            continue;
+        Cover merged = cover;
+        merged.intersect(it->second);
+        out.sigs.emplace(sig, std::move(merged));
+    }
+    for (int t : a.temps) {
+        if (b.temps.count(t))
+            out.temps.insert(t);
+    }
+    return out;
+}
+
+/** Runs every per-block check over one IR block. */
+class BlockAnalyzer
+{
+  public:
+    BlockAnalyzer(const ElabBlock &blk, const AnalyzeOptions &options,
+                  std::vector<LintIssue> &issues)
+        : blk_(blk), ir_(*blk.ir), options_(options), issues_(issues)
+    {}
+
+    void
+    run()
+    {
+        collectWriteTargets(ir_.stmts);
+        PathState st;
+        walk(ir_.stmts, st);
+        if (!ir_.sequential)
+            reportLatches(st);
+    }
+
+  private:
+    // ----------------------------------------------------- reporting
+
+    void
+    emitOnce(LintSeverity fallback, const std::string &check,
+             const std::string &subject, const std::string &message)
+    {
+        if (!reported_.insert(check + "|" + subject).second)
+            return;
+        options_.emit(issues_, fallback, check,
+                      "in block '" + blk_.name + "': " + message);
+    }
+
+    // ---------------------------------------------- write collection
+
+    void
+    collectWriteTargets(const std::vector<IrStmt> &stmts)
+    {
+        for (const IrStmt &s : stmts) {
+            if (s.kind == IrStmt::Kind::Assign && s.sig)
+                writes_.insert(s.sig);
+            collectWriteTargets(s.thenBody);
+            collectWriteTargets(s.elseBody);
+        }
+    }
+
+    // --------------------------------------------- expression checks
+
+    void
+    checkExpr(const IrExprPtr &e, const PathState &st)
+    {
+        if (!e)
+            return;
+        switch (e->kind) {
+          case IrExprNode::Kind::Temp:
+            if (!st.temps.count(e->temp)) {
+                emitOnce(LintSeverity::Error, "temp-read-before-write",
+                         tempName(e->temp),
+                         "temp '" + tempName(e->temp) +
+                             "' is read before any assignment on some "
+                             "path");
+            }
+            break;
+          case IrExprNode::Kind::Ref:
+            if (!ir_.sequential && writes_.count(e->sig) &&
+                !st.fullyAssigned(e->sig)) {
+                emitOnce(LintSeverity::Warning, "comb-read-own-write",
+                         e->sig->fullName(),
+                         "signal '" + e->sig->fullName() +
+                             "' is read before the block's own "
+                             "assignment to it; the read observes the "
+                             "previous settling round");
+            }
+            break;
+          case IrExprNode::Kind::Slice: {
+            const IrExprPtr &arg = e->args[0];
+            if (e->lsb < 0 || e->lsb + e->nbits > arg->nbits) {
+                emitOnce(LintSeverity::Error, "slice-out-of-range",
+                         irExprToString(e),
+                         "slice [" + std::to_string(e->lsb + e->nbits - 1) +
+                             ":" + std::to_string(e->lsb) +
+                             "] exceeds the " +
+                             std::to_string(arg->nbits) +
+                             "-bit operand '" + irExprToString(arg) + "'");
+            }
+            break;
+          }
+          case IrExprNode::Kind::ARead:
+            checkIndex(e->args[0], e->array, "read");
+            break;
+          case IrExprNode::Kind::Mux:
+            checkConstCondition(e->args[0], "mux",
+                                /*has_else=*/true);
+            break;
+          default:
+            break;
+        }
+        for (const auto &arg : e->args)
+            checkExpr(arg, st);
+    }
+
+    void
+    checkIndex(const IrExprPtr &idx, const MemArray *array,
+               const char *what)
+    {
+        const uint64_t depth = static_cast<uint64_t>(array->depth());
+        if (auto folded = irConstFold(idx)) {
+            if (!folded->fitsUint64() || folded->toUint64() >= depth) {
+                emitOnce(LintSeverity::Error, "index-out-of-range",
+                         array->fullName() + "|" + irExprToString(idx),
+                         "array " + std::string(what) + " of '" +
+                             array->fullName() + "' (depth " +
+                             std::to_string(array->depth()) +
+                             ") uses constant index " +
+                             folded->toDecString());
+            }
+            return;
+        }
+        uint64_t bound = irMaxBound(idx);
+        if (bound >= depth) {
+            emitOnce(LintSeverity::Warning, "index-may-exceed",
+                     array->fullName() + "|" + irExprToString(idx),
+                     "array " + std::string(what) + " of '" +
+                         array->fullName() + "' (depth " +
+                         std::to_string(array->depth()) +
+                         ") uses index '" + irExprToString(idx) +
+                         "' with static upper bound " +
+                         std::to_string(bound) +
+                         "; out-of-range indexes wrap");
+        }
+    }
+
+    /** Returns the folded condition when it is a constant. */
+    std::optional<Bits>
+    checkConstCondition(const IrExprPtr &cond, const char *what,
+                        bool has_else)
+    {
+        auto folded = irConstFold(cond);
+        if (folded) {
+            bool taken = folded->any();
+            std::string dead = taken
+                                   ? (has_else ? "the else branch is "
+                                                 "unreachable"
+                                               : "the condition is "
+                                                 "redundant")
+                                   : "the then branch is unreachable";
+            emitOnce(LintSeverity::Warning, "constant-condition",
+                     irExprToString(cond) + "|" + what,
+                     std::string(what) + " condition '" +
+                         irExprToString(cond) + "' is always " +
+                         (taken ? "true" : "false") + "; " + dead);
+        }
+        return folded;
+    }
+
+    // ----------------------------------------------- statement checks
+
+    std::string
+    tempName(int idx) const
+    {
+        if (idx >= 0 && idx < static_cast<int>(ir_.temps.size()))
+            return ir_.temps[idx].name;
+        return "t" + std::to_string(idx);
+    }
+
+    void
+    checkAssignTruncation(const IrStmt &s)
+    {
+        int target_width;
+        std::string target;
+        if (s.sig) {
+            target_width = s.width < 0 ? s.sig->nbits() : s.width;
+            target = "'" + s.sig->fullName() + "'";
+        } else {
+            target_width = s.temp < static_cast<int>(ir_.temps.size())
+                               ? ir_.temps[s.temp].nbits
+                               : s.rhs->nbits;
+            target = "temp '" + tempName(s.temp) + "'";
+        }
+        // Builder-inserted truncation shows up as a width-reducing
+        // extension at the root of the rhs; hand-built IR may carry a
+        // plainly wider rhs. Proving the value fits silences it.
+        const IrExprPtr *wide = nullptr;
+        if (s.rhs->nbits > target_width) {
+            wide = &s.rhs;
+        } else if ((s.rhs->kind == IrExprNode::Kind::Zext ||
+                    s.rhs->kind == IrExprNode::Kind::Sext) &&
+                   s.rhs->args[0]->nbits > s.rhs->nbits) {
+            wide = &s.rhs->args[0];
+        }
+        if (!wide)
+            return;
+        if (irMaxBound(*wide) <= widthBound(target_width))
+            return; // value provably fits: not lossy
+        emitOnce(LintSeverity::Warning, "lossy-truncation",
+                 target + "|" + std::to_string((*wide)->nbits),
+                 "assignment to " + target + " truncates a " +
+                     std::to_string((*wide)->nbits) + "-bit value to " +
+                     std::to_string(target_width) + " bits");
+    }
+
+    void
+    walk(const std::vector<IrStmt> &stmts, PathState &st)
+    {
+        for (const IrStmt &s : stmts) {
+            switch (s.kind) {
+              case IrStmt::Kind::Assign: {
+                checkExpr(s.rhs, st);
+                checkAssignTruncation(s);
+                if (s.sig) {
+                    if (!ir_.sequential && s.nonblocking) {
+                        emitOnce(LintSeverity::Error,
+                                 "nonblocking-in-comb",
+                                 s.sig->fullName(),
+                                 "non-blocking assignment to '" +
+                                     s.sig->fullName() +
+                                     "' in a combinational block");
+                    }
+                    if (ir_.sequential && !s.nonblocking) {
+                        emitOnce(LintSeverity::Error, "blocking-in-seq",
+                                 s.sig->fullName(),
+                                 "blocking assignment to sequential "
+                                 "state '" +
+                                     s.sig->fullName() + "'");
+                    }
+                    auto [it, inserted] =
+                        st.sigs.try_emplace(s.sig, Cover(s.sig->nbits()));
+                    if (s.width < 0)
+                        it->second.coverAll();
+                    else
+                        it->second.cover(s.lsb, s.width);
+                } else {
+                    st.temps.insert(s.temp);
+                }
+                break;
+              }
+              case IrStmt::Kind::If: {
+                checkExpr(s.cond, st);
+                auto folded =
+                    checkConstCondition(s.cond, "if",
+                                        !s.elseBody.empty());
+                PathState then_st = st;
+                PathState else_st = st;
+                walk(s.thenBody, then_st);
+                walk(s.elseBody, else_st);
+                if (folded) {
+                    // Dead branch was still checked above, but only
+                    // the live branch contributes assignments.
+                    st = folded->any() ? std::move(then_st)
+                                       : std::move(else_st);
+                    break;
+                }
+                recordLatchNotes(s, st, then_st, else_st);
+                st = mergeStates(then_st, else_st);
+                break;
+              }
+              case IrStmt::Kind::AWrite: {
+                if (!ir_.sequential) {
+                    emitOnce(LintSeverity::Error, "awrite-in-comb",
+                             s.array->fullName(),
+                             "write to array '" + s.array->fullName() +
+                                 "' in a combinational block; array "
+                                 "writes are clock-edge effects");
+                }
+                checkExpr(s.cond, st);
+                checkExpr(s.rhs, st);
+                checkIndex(s.cond, s.array, "write");
+                break;
+              }
+            }
+        }
+    }
+
+    /**
+     * Remember, per signal, the innermost branch condition under
+     * which it misses an assignment — the offending path named in
+     * the latch-inferred report.
+     */
+    void
+    recordLatchNotes(const IrStmt &s, const PathState &base,
+                     const PathState &then_st, const PathState &else_st)
+    {
+        if (ir_.sequential)
+            return;
+        for (const Signal *sig : writes_) {
+            if (latch_notes_.count(sig) || base.fullyAssigned(sig))
+                continue;
+            bool then_full = then_st.fullyAssigned(sig);
+            bool else_full = else_st.fullyAssigned(sig);
+            if (then_full == else_full)
+                continue;
+            latch_notes_[sig] = "not assigned when '" +
+                                irExprToString(s.cond) + "' is " +
+                                (then_full ? "false" : "true");
+        }
+    }
+
+    void
+    reportLatches(const PathState &final_st)
+    {
+        for (const Signal *sig : writes_) {
+            auto it = final_st.sigs.find(sig);
+            Cover cover =
+                it != final_st.sigs.end() ? it->second : Cover(sig->nbits());
+            if (cover.full())
+                continue;
+            auto [msb, lsb] = cover.missingRange();
+            std::string msg = "combinational target '" + sig->fullName() +
+                              "' is not assigned on every path (bits [" +
+                              std::to_string(msb) + ":" +
+                              std::to_string(lsb) + "] can retain their "
+                              "previous value — a latch would be "
+                              "inferred)";
+            auto note = latch_notes_.find(sig);
+            if (note != latch_notes_.end())
+                msg += "; offending path: " + note->second;
+            emitOnce(LintSeverity::Error, "latch-inferred",
+                     sig->fullName(), msg);
+        }
+    }
+
+    const ElabBlock &blk_;
+    const IrBlock &ir_;
+    const AnalyzeOptions &options_;
+    std::vector<LintIssue> &issues_;
+    std::set<const Signal *> writes_;
+    std::map<const Signal *, std::string> latch_notes_;
+    std::set<std::string> reported_;
+};
+
+} // namespace
+
+std::vector<LintIssue>
+analyzeIr(const Elaboration &elab, const AnalyzeOptions &options)
+{
+    std::vector<LintIssue> issues;
+    for (const ElabBlock &blk : elab.blocks) {
+        if (!blk.ir)
+            continue; // FL/CL lambda blocks carry no IR
+        BlockAnalyzer(blk, options, issues).run();
+    }
+    return issues;
+}
+
+} // namespace cmtl

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * IR-level static analysis of an elaborated design.
+ *
+ * The analyzer walks every IR block of an Elaboration with a per-path
+ * definite-assignment dataflow and a constant folder, and reports
+ * findings through the same LintIssue machinery the structural linter
+ * uses (the model/tool split of the paper: one elaboration, many
+ * tools). Check families:
+ *
+ *  - latch inference: a combinational block that does not assign one
+ *    of its target signals on every control path ("latch-inferred",
+ *    error, offending path reported);
+ *  - block-local ordering: a block-local temp read before it is ever
+ *    assigned ("temp-read-before-write", error) and a combinational
+ *    block reading a signal it writes later in the same block
+ *    ("comb-read-own-write", warning — the read observes the previous
+ *    settling round);
+ *  - width/range: slice or bit selects outside the operand width
+ *    ("slice-out-of-range", error), array indexes that are provably
+ *    out of range ("index-out-of-range", error) or whose static upper
+ *    bound exceeds the array depth ("index-may-exceed", warning), and
+ *    lossy implicit truncation at an assignment ("lossy-truncation",
+ *    warning with widths printed);
+ *  - dead logic: if/mux conditions that constant-fold
+ *    ("constant-condition", warning, unreachable branch named);
+ *  - blocking/non-blocking misuse: non-blocking signal assignment in
+ *    a combinational block ("nonblocking-in-comb", error), blocking
+ *    assignment to sequential state ("blocking-in-seq", error), and
+ *    array writes in combinational blocks ("awrite-in-comb", error).
+ *
+ * Every check can be suppressed or have its severity overridden
+ * per-run through AnalyzeOptions; LintTool carries one and forwards
+ * its configuration to both the structural checks and this analyzer.
+ */
+
+#ifndef CMTL_CORE_ANALYZE_H
+#define CMTL_CORE_ANALYZE_H
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "model.h"
+
+namespace cmtl {
+
+/** Severity of a lint/analysis finding. */
+enum class LintSeverity { Warning, Error };
+
+/** One lint/analysis finding. */
+struct LintIssue
+{
+    LintSeverity severity;
+    std::string check; //!< short check id, e.g. "latch-inferred"
+    std::string message;
+};
+
+/** One entry of the static check catalog. */
+struct AnalyzeCheck
+{
+    const char *id;
+    LintSeverity severity; //!< default severity
+    const char *summary;
+};
+
+/** Catalog of every IR-analysis check with its default severity. */
+const std::vector<AnalyzeCheck> &analyzeCheckCatalog();
+
+/**
+ * Per-check configuration shared by LintTool and the IR analyzer:
+ * suppression and severity overrides keyed by check id.
+ */
+class AnalyzeOptions
+{
+  public:
+    /** Drop all findings of @p check. Returns *this for chaining. */
+    AnalyzeOptions &suppress(const std::string &check);
+    /** Report @p check with @p severity instead of its default. */
+    AnalyzeOptions &setSeverity(const std::string &check,
+                                LintSeverity severity);
+
+    bool isSuppressed(const std::string &check) const;
+    /** Effective severity given the check's built-in default. */
+    LintSeverity effectiveSeverity(const std::string &check,
+                                   LintSeverity fallback) const;
+
+    /**
+     * Append a finding unless the check is suppressed, applying any
+     * severity override. Convenience used by LintTool and analyzeIr.
+     */
+    void emit(std::vector<LintIssue> &issues, LintSeverity fallback,
+              const std::string &check, const std::string &message) const;
+
+  private:
+    std::set<std::string> suppressed_;
+    std::map<std::string, LintSeverity> severity_;
+};
+
+/**
+ * Fold @p expr to a constant if every leaf is a literal. Uses the
+ * exact irEvalBinOp/irEvalUnOp simulation semantics, so a folded
+ * value is guaranteed to match what any backend would compute.
+ * Returns nullopt when the expression depends on run-time state (or
+ * would throw, e.g. an out-of-range slice).
+ */
+std::optional<Bits> irConstFold(const IrExprPtr &expr);
+std::optional<Bits> irConstFold(const IrExprNode *expr);
+
+/**
+ * Saturating static upper bound of @p expr's value (used for array
+ * index range checking). Never below the true maximum; UINT64_MAX
+ * when nothing better than "any value of the width" is known and the
+ * width is >= 64 bits.
+ */
+uint64_t irMaxBound(const IrExprPtr &expr);
+
+/**
+ * Run every IR check over each IrBlock of @p elab. Lambda (FL/CL)
+ * blocks have no IR and are skipped. Findings are ordered by block.
+ */
+std::vector<LintIssue> analyzeIr(const Elaboration &elab,
+                                 const AnalyzeOptions &options = {});
+
+} // namespace cmtl
+
+#endif // CMTL_CORE_ANALYZE_H

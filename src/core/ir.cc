@@ -492,6 +492,44 @@ dedup(std::vector<Signal *> &v)
     v.erase(std::unique(v.begin(), v.end()), v.end());
 }
 
+const char *
+opSymbol(IrOp op)
+{
+    switch (op) {
+      case IrOp::Add: return "+";
+      case IrOp::Sub: return "-";
+      case IrOp::Mul: return "*";
+      case IrOp::And: return "&";
+      case IrOp::Or: return "|";
+      case IrOp::Xor: return "^";
+      case IrOp::Shl: return "<<";
+      case IrOp::Shr: return ">>";
+      case IrOp::Sra: return ">>>";
+      case IrOp::Eq: return "==";
+      case IrOp::Ne: return "!=";
+      case IrOp::Lt: return "<";
+      case IrOp::Le: return "<=";
+      case IrOp::Gt: return ">";
+      case IrOp::Ge: return ">=";
+      case IrOp::LAnd: return "&&";
+      case IrOp::LOr: return "||";
+    }
+    return "?";
+}
+
+const char *
+unopSymbol(IrUnOp op)
+{
+    switch (op) {
+      case IrUnOp::Inv: return "~";
+      case IrUnOp::LNot: return "!";
+      case IrUnOp::ReduceOr: return "|";
+      case IrUnOp::ReduceAnd: return "&";
+      case IrUnOp::ReduceXor: return "^";
+    }
+    return "?";
+}
+
 std::string
 exprToString(const IrExprPtr &e)
 {
@@ -509,13 +547,12 @@ exprToString(const IrExprPtr &e)
         os << "t" << e->temp;
         break;
       case IrExprNode::Kind::BinOp:
-        os << "(" << exprToString(e->args[0]) << " op"
-           << static_cast<int>(e->op) << " " << exprToString(e->args[1])
-           << ")";
+        os << "(" << exprToString(e->args[0]) << " " << opSymbol(e->op)
+           << " " << exprToString(e->args[1]) << ")";
         break;
       case IrExprNode::Kind::UnOp:
-        os << "(un" << static_cast<int>(e->unop) << " "
-           << exprToString(e->args[0]) << ")";
+        os << "(" << unopSymbol(e->unop) << exprToString(e->args[0])
+           << ")";
         break;
       case IrExprNode::Kind::Slice:
         os << exprToString(e->args[0]) << "[" << (e->lsb + e->nbits - 1)
@@ -601,6 +638,12 @@ irCollectArrays(const IrBlock &block, std::vector<MemArray *> &reads,
     reads.erase(std::unique(reads.begin(), reads.end()), reads.end());
     std::sort(writes.begin(), writes.end());
     writes.erase(std::unique(writes.begin(), writes.end()), writes.end());
+}
+
+std::string
+irExprToString(const IrExprPtr &expr)
+{
+    return exprToString(expr);
 }
 
 std::string

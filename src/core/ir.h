@@ -269,6 +269,13 @@ void irCollectArrays(const IrBlock &block,
 /** Human-readable dump (debugging aid). */
 std::string irToString(const IrBlock &block);
 
+/**
+ * Human-readable rendering of one expression tree, e.g.
+ * "(top.count + 0x01)". Shared by irToString and the lint/analysis
+ * tools, which quote conditions and indexes in their findings.
+ */
+std::string irExprToString(const IrExprPtr &expr);
+
 } // namespace cmtl
 
 #endif // CMTL_CORE_IR_H

@@ -3,6 +3,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "analyze.h"
+
 namespace cmtl {
 
 namespace {
@@ -60,6 +62,16 @@ class BlockEmitter
     std::string
     expr(const IrExprNode *e)
     {
+        // Collapse whole constant subtrees (the analyzer's folder
+        // shares exact simulation semantics, so the emitted literal
+        // matches what the interpreted backends compute).
+        if (e->kind != IrExprNode::Kind::Const && e->nbits <= 64) {
+            if (auto folded = irConstFold(e)) {
+                std::ostringstream os;
+                os << "0x" << std::hex << folded->toUint64() << "ull";
+                return os.str();
+            }
+        }
         switch (e->kind) {
           case IrExprNode::Kind::Const: {
             std::ostringstream os;

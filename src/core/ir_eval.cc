@@ -4,11 +4,8 @@
 
 namespace cmtl {
 
-namespace {
-
-/** Shared arithmetic semantics for both evaluators. */
 Bits
-evalBinOp(IrOp op, const Bits &a, const Bits &b, int nbits)
+irEvalBinOp(IrOp op, const Bits &a, const Bits &b, int nbits)
 {
     switch (op) {
       case IrOp::Add: return (a + b).zext(nbits);
@@ -36,7 +33,7 @@ evalBinOp(IrOp op, const Bits &a, const Bits &b, int nbits)
 }
 
 Bits
-evalUnOp(IrUnOp op, const Bits &a)
+irEvalUnOp(IrUnOp op, const Bits &a)
 {
     switch (op) {
       case IrUnOp::Inv: return ~a;
@@ -47,8 +44,6 @@ evalUnOp(IrUnOp op, const Bits &a)
     }
     throw std::logic_error("unhandled IrUnOp");
 }
-
-} // namespace
 
 // -------------------------------------------------------- BoxedEvaluator
 
@@ -67,11 +62,11 @@ BoxedEvaluator::eval(const IrExprNode *e)
         Box a = eval(e->args[0].get());
         Box b = eval(e->args[1].get());
         return std::make_shared<const Bits>(
-            evalBinOp(e->op, *a, *b, e->nbits));
+            irEvalBinOp(e->op, *a, *b, e->nbits));
       }
       case IrExprNode::Kind::UnOp: {
         Box a = eval(e->args[0].get());
-        return std::make_shared<const Bits>(evalUnOp(e->unop, *a));
+        return std::make_shared<const Bits>(irEvalUnOp(e->unop, *a));
       }
       case IrExprNode::Kind::Slice: {
         Box a = eval(e->args[0].get());
@@ -182,10 +177,10 @@ SlotEvaluator::eval(const IrExprNode *e)
       case IrExprNode::Kind::Temp:
         return temps_[e->temp];
       case IrExprNode::Kind::BinOp:
-        return evalBinOp(e->op, eval(e->args[0].get()),
+        return irEvalBinOp(e->op, eval(e->args[0].get()),
                          eval(e->args[1].get()), e->nbits);
       case IrExprNode::Kind::UnOp:
-        return evalUnOp(e->unop, eval(e->args[0].get()));
+        return irEvalUnOp(e->unop, eval(e->args[0].get()));
       case IrExprNode::Kind::Slice:
         return eval(e->args[0].get()).slice(e->lsb, e->nbits);
       case IrExprNode::Kind::Concat: {

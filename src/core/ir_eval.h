@@ -25,6 +25,17 @@
 
 namespace cmtl {
 
+/**
+ * Reference arithmetic semantics of one binary IR operator, truncated
+ * to @p nbits. Shared by both tree-walk evaluators and by the static
+ * analyzer's constant folder, so folded values match simulation
+ * bit-for-bit.
+ */
+Bits irEvalBinOp(IrOp op, const Bits &a, const Bits &b, int nbits);
+
+/** Reference semantics of one unary IR operator. */
+Bits irEvalUnOp(IrUnOp op, const Bits &a);
+
 /** CPython-analog evaluator over boxed, dictionary-backed storage. */
 class BoxedEvaluator
 {

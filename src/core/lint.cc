@@ -1,8 +1,52 @@
 #include "lint.h"
 
+#include <algorithm>
 #include <sstream>
 
 namespace cmtl {
+
+namespace {
+
+/**
+ * Hierarchical location of a net: its canonical (shallowest) name
+ * plus the other member signals, so a finding deep inside a large
+ * design (e.g. an 8x8 mesh) names the exact instances involved.
+ */
+std::string
+netLocation(const Net &net)
+{
+    std::string out = "net '" + net.name + "'";
+    if (net.signals.size() <= 1)
+        return out;
+    out += " (members: ";
+    const size_t show = std::min<size_t>(net.signals.size(), 4);
+    for (size_t i = 0; i < show; ++i) {
+        if (i)
+            out += ", ";
+        out += net.signals[i]->fullName();
+    }
+    if (net.signals.size() > show)
+        out += ", +" + std::to_string(net.signals.size() - show) +
+               " more";
+    out += ")";
+    return out;
+}
+
+} // namespace
+
+LintTool &
+LintTool::suppress(const std::string &check)
+{
+    options_.suppress(check);
+    return *this;
+}
+
+LintTool &
+LintTool::setSeverity(const std::string &check, LintSeverity severity)
+{
+    options_.setSeverity(check, severity);
+    return *this;
+}
 
 std::vector<LintIssue>
 LintTool::run(const Elaboration &elab)
@@ -33,12 +77,12 @@ LintTool::run(const Elaboration &elab)
 
     for (size_t i = 0; i < elab.arrays.size(); ++i) {
         if (array_writers[i] > 1) {
-            issues.push_back(
-                {LintSeverity::Error, "multiple-array-writers",
-                 "array '" + elab.arrays[i]->fullName() +
-                     "' is written by " +
-                     std::to_string(array_writers[i]) +
-                     " blocks; write ordering would be undefined"});
+            options_.emit(
+                issues, LintSeverity::Error, "multiple-array-writers",
+                "array '" + elab.arrays[i]->fullName() +
+                    "' is written by " +
+                    std::to_string(array_writers[i]) +
+                    " blocks; write ordering would be undefined");
         }
     }
 
@@ -46,11 +90,11 @@ LintTool::run(const Elaboration &elab)
         int cw = comb_writers[net.id];
         int sw = seq_writers[net.id];
         if (cw + sw > 1) {
-            issues.push_back(
-                {LintSeverity::Error, "multiple-drivers",
-                 "net '" + net.name + "' is written by " +
-                     std::to_string(cw) + " combinational and " +
-                     std::to_string(sw) + " sequential block(s)"});
+            options_.emit(
+                issues, LintSeverity::Error, "multiple-drivers",
+                netLocation(net) + " is written by " +
+                    std::to_string(cw) + " combinational and " +
+                    std::to_string(sw) + " sequential block(s)");
         }
 
         bool has_top_input = false;
@@ -64,24 +108,30 @@ LintTool::run(const Elaboration &elab)
             }
         }
         if (readers[net.id] > 0 && cw + sw == 0 && !has_top_input) {
-            issues.push_back({LintSeverity::Warning, "undriven-net",
-                              "net '" + net.name +
-                                  "' is read but never written and has "
-                                  "no top-level input"});
+            options_.emit(issues, LintSeverity::Warning, "undriven-net",
+                          netLocation(net) +
+                              " is read but never written and has no "
+                              "top-level input");
         }
         if (readers[net.id] == 0 && cw + sw > 0 && !has_top_output) {
-            issues.push_back({LintSeverity::Warning, "unread-net",
-                              "net '" + net.name +
-                                  "' is written but never read"});
+            options_.emit(issues, LintSeverity::Warning, "unread-net",
+                          netLocation(net) +
+                              " is written but never read");
         }
     }
 
     if (elab.hasCombCycle) {
-        issues.push_back({LintSeverity::Error, "comb-cycle",
-                          "combinational blocks form a dependency "
-                          "cycle; only event-driven simulation is "
-                          "possible"});
+        options_.emit(issues, LintSeverity::Error, "comb-cycle",
+                      "combinational blocks form a dependency cycle; "
+                      "only event-driven simulation is possible");
     }
+
+    // Deep IR-level checks (latches, ordering, widths, dead logic,
+    // blocking/non-blocking misuse) over every IR block.
+    std::vector<LintIssue> ir_issues = analyzeIr(elab, options_);
+    issues.insert(issues.end(),
+                  std::make_move_iterator(ir_issues.begin()),
+                  std::make_move_iterator(ir_issues.end()));
     return issues;
 }
 

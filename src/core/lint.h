@@ -4,7 +4,10 @@
  *
  * An example of the model/tool split: the linter walks the same
  * Elaboration the simulator and translator consume and reports
- * structural problems before any simulation runs.
+ * problems before any simulation runs. Structural net-level checks
+ * live here; the deep IR-level checks live in analyze.h and run as
+ * part of LintTool::run (LintSeverity/LintIssue are defined there and
+ * shared by both layers).
  */
 
 #ifndef CMTL_CORE_LINT_H
@@ -13,30 +16,22 @@
 #include <string>
 #include <vector>
 
+#include "analyze.h"
 #include "model.h"
 
 namespace cmtl {
 
-/** Severity of a lint finding. */
-enum class LintSeverity { Warning, Error };
-
-/** One lint finding. */
-struct LintIssue
-{
-    LintSeverity severity;
-    std::string check; //!< short check id, e.g. "multiple-drivers"
-    std::string message;
-};
-
-/** Runs structural checks over an elaborated design. */
+/** Runs structural and IR static checks over an elaborated design. */
 class LintTool
 {
   public:
     /**
-     * Checks performed:
+     * Structural checks performed:
      *  - multiple-drivers: a net written by more than one
      *    combinational block, or by both combinational and
      *    sequential blocks (error);
+     *  - multiple-array-writers: a memory array written by more than
+     *    one sequential block (error);
      *  - comb-cycle: combinational blocks form a dependency cycle
      *    (error);
      *  - undriven-net: a net that is read by some block but written
@@ -44,11 +39,27 @@ class LintTool
      *    benches may drive it);
      *  - unread-net: a net that is written but never read and
      *    contains no top-level output port (warning).
+     *
+     * The IR checks of analyzeIr() (latch inference, read ordering,
+     * width/range, dead logic, blocking/non-blocking misuse — see
+     * analyze.h for the catalog) run on every IR block afterwards.
+     * Both layers honour the suppression/severity configuration.
      */
     std::vector<LintIssue> run(const Elaboration &elab);
 
+    /** Drop all findings of @p check. Returns *this for chaining. */
+    LintTool &suppress(const std::string &check);
+    /** Report @p check as @p severity instead of its default. */
+    LintTool &setSeverity(const std::string &check, LintSeverity severity);
+
+    /** The per-check configuration (shared with analyzeIr). */
+    const AnalyzeOptions &options() const { return options_; }
+
     /** Render issues in a compact single-line-per-issue format. */
     static std::string format(const std::vector<LintIssue> &issues);
+
+  private:
+    AnalyzeOptions options_;
 };
 
 } // namespace cmtl

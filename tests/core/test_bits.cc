@@ -356,5 +356,85 @@ INSTANTIATE_TEST_SUITE_P(
                       std::tuple{128, 0, 128}, std::tuple{200, 120, 70},
                       std::tuple{65, 63, 2}));
 
+// Shift/truncation edge cases. These pin down the amounts where naive
+// implementations hit undefined behaviour (shifting a uint64_t by 64,
+// OR-ing an out-of-range sign mask); CI runs this suite under
+// -fsanitize=address,undefined to prove the paths stay clean.
+
+TEST(BitsShifts, AmountsAtAndBeyondWidth)
+{
+    Bits a(8, 0xa5);
+    EXPECT_EQ(a.shl(0).toUint64(), 0xa5u);
+    EXPECT_EQ(a.shr(0).toUint64(), 0xa5u);
+    EXPECT_EQ(a.shl(7).toUint64(), 0x80u);
+    EXPECT_EQ(a.shr(7).toUint64(), 0x01u);
+    EXPECT_EQ(a.shl(8).toUint64(), 0u);
+    EXPECT_EQ(a.shr(8).toUint64(), 0u);
+    EXPECT_EQ(a.shl(1000).toUint64(), 0u);
+    EXPECT_EQ(a.shr(1000).toUint64(), 0u);
+}
+
+TEST(BitsShifts, SixtyFourBitBoundary)
+{
+    Bits a(64, 0x8000000000000001ull);
+    EXPECT_EQ(a.shl(63).toUint64(), 0x8000000000000000ull);
+    EXPECT_EQ(a.shr(63).toUint64(), 1u);
+    EXPECT_EQ(a.shl(64).toUint64(), 0u);
+    EXPECT_EQ(a.shr(64).toUint64(), 0u);
+    EXPECT_EQ(a.sra(63).toUint64(), ~uint64_t(0));
+    EXPECT_EQ(a.sra(64).toUint64(), ~uint64_t(0));
+}
+
+TEST(BitsShifts, WideCrossWordShifts)
+{
+    Bits a = Bits::fromWords(
+        128, {0xdeadbeefcafebabeull, 0x0123456789abcdefull});
+    // Word-aligned amounts take the bit_shift == 0 path.
+    EXPECT_EQ(a.shr(64).toUint64(), 0x0123456789abcdefull);
+    EXPECT_EQ(a.shl(64).word(1), 0xdeadbeefcafebabeull);
+    EXPECT_EQ(a.shl(64).word(0), 0u);
+    // A straddling amount combines both carry directions.
+    Bits r = a.shr(4);
+    EXPECT_EQ(r.word(0), (0xdeadbeefcafebabeull >> 4) |
+                             (0x0123456789abcdefull << 60));
+    EXPECT_EQ(a.shr(127).toUint64(), 0u);
+    EXPECT_EQ(a.shr(128).toUint64(), 0u);
+}
+
+TEST(BitsShifts, SraSignFill)
+{
+    Bits n(8, 0x80);
+    EXPECT_EQ(n.sra(1).toUint64(), 0xc0u);
+    EXPECT_EQ(n.sra(7).toUint64(), 0xffu);
+    EXPECT_EQ(n.sra(100).toUint64(), 0xffu);
+    Bits p(8, 0x40);
+    EXPECT_EQ(p.sra(1).toUint64(), 0x20u);
+    EXPECT_EQ(p.sra(100).toUint64(), 0u);
+}
+
+TEST(BitsShifts, OperatorShiftWithHugeDynamicAmount)
+{
+    Bits a(16, 0xffff);
+    // 2**64: does not fit a uint64_t, must still shift out cleanly.
+    Bits huge = Bits::fromWords(128, {0, 1});
+    EXPECT_EQ((a << huge).toUint64(), 0u);
+    EXPECT_EQ((a >> huge).toUint64(), 0u);
+    Bits sixteen(8, 16);
+    EXPECT_EQ((a << sixteen).toUint64(), 0u);
+    EXPECT_EQ((a >> sixteen).toUint64(), 0u);
+}
+
+TEST(BitsTruncation, ZextAndToInt64AtWidthBoundaries)
+{
+    Bits a(64, ~uint64_t(0));
+    EXPECT_EQ(a.toInt64(), -1);
+    EXPECT_EQ(a.zext(4).toUint64(), 0xfu);
+    EXPECT_EQ(a.zext(128).slice(0, 64).toUint64(), ~uint64_t(0));
+    EXPECT_EQ(Bits(1, 1).toInt64(), -1);
+    EXPECT_EQ(Bits(64, 1).toInt64(), 1);
+    Bits wide = Bits::fromWords(128, {0x5555aaaa5555aaaaull, 0xffull});
+    EXPECT_EQ(wide.zext(64).toUint64(), 0x5555aaaa5555aaaaull);
+}
+
 } // namespace
 } // namespace cmtl
