@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_lod"
+  "../bench/bench_fig13_lod.pdb"
+  "CMakeFiles/bench_fig13_lod.dir/bench_fig13_lod.cc.o"
+  "CMakeFiles/bench_fig13_lod.dir/bench_fig13_lod.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_lod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_mesh"
+  "../bench/bench_fig14_mesh.pdb"
+  "CMakeFiles/bench_fig14_mesh.dir/bench_fig14_mesh.cc.o"
+  "CMakeFiles/bench_fig14_mesh.dir/bench_fig14_mesh.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig15_injection"
+  "../bench/bench_fig15_injection.pdb"
+  "CMakeFiles/bench_fig15_injection.dir/bench_fig15_injection.cc.o"
+  "CMakeFiles/bench_fig15_injection.dir/bench_fig15_injection.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig16_overheads"
+  "../bench/bench_fig16_overheads.pdb"
+  "CMakeFiles/bench_fig16_overheads.dir/bench_fig16_overheads.cc.o"
+  "CMakeFiles/bench_fig16_overheads.dir/bench_fig16_overheads.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec3_accel"
+  "../bench/bench_sec3_accel.pdb"
+  "CMakeFiles/bench_sec3_accel.dir/bench_sec3_accel.cc.o"
+  "CMakeFiles/bench_sec3_accel.dir/bench_sec3_accel.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec3_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

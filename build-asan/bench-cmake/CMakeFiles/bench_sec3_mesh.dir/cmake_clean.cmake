@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec3_mesh"
+  "../bench/bench_sec3_mesh.pdb"
+  "CMakeFiles/bench_sec3_mesh.dir/bench_sec3_mesh.cc.o"
+  "CMakeFiles/bench_sec3_mesh.dir/bench_sec3_mesh.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec3_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

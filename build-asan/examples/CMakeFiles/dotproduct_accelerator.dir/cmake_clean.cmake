@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dotproduct_accelerator.dir/dotproduct_accelerator.cpp.o"
+  "CMakeFiles/dotproduct_accelerator.dir/dotproduct_accelerator.cpp.o.d"
+  "dotproduct_accelerator"
+  "dotproduct_accelerator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dotproduct_accelerator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

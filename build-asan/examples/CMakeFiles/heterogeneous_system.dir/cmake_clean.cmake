@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterogeneous_system.dir/heterogeneous_system.cpp.o"
+  "CMakeFiles/heterogeneous_system.dir/heterogeneous_system.cpp.o.d"
+  "heterogeneous_system"
+  "heterogeneous_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterogeneous_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lint_design.dir/lint_design.cpp.o"
+  "CMakeFiles/lint_design.dir/lint_design.cpp.o.d"
+  "lint_design"
+  "lint_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lint_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/mesh_network.cpp" "examples/CMakeFiles/mesh_network.dir/mesh_network.cpp.o" "gcc" "examples/CMakeFiles/mesh_network.dir/mesh_network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/core/CMakeFiles/cmtl_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/stdlib/CMakeFiles/cmtl_stdlib.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/net/CMakeFiles/cmtl_net.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/tile/CMakeFiles/cmtl_tile.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

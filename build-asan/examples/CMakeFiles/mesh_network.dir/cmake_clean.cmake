@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh_network.dir/mesh_network.cpp.o"
+  "CMakeFiles/mesh_network.dir/mesh_network.cpp.o.d"
+  "mesh_network"
+  "mesh_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/translate_verilog.dir/translate_verilog.cpp.o"
+  "CMakeFiles/translate_verilog.dir/translate_verilog.cpp.o.d"
+  "translate_verilog"
+  "translate_verilog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/translate_verilog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

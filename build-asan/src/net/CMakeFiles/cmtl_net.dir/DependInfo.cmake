@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/cl_router.cc" "src/net/CMakeFiles/cmtl_net.dir/cl_router.cc.o" "gcc" "src/net/CMakeFiles/cmtl_net.dir/cl_router.cc.o.d"
+  "/root/repo/src/net/cl_router_spec.cc" "src/net/CMakeFiles/cmtl_net.dir/cl_router_spec.cc.o" "gcc" "src/net/CMakeFiles/cmtl_net.dir/cl_router_spec.cc.o.d"
+  "/root/repo/src/net/fl_network.cc" "src/net/CMakeFiles/cmtl_net.dir/fl_network.cc.o" "gcc" "src/net/CMakeFiles/cmtl_net.dir/fl_network.cc.o.d"
+  "/root/repo/src/net/rtl_router.cc" "src/net/CMakeFiles/cmtl_net.dir/rtl_router.cc.o" "gcc" "src/net/CMakeFiles/cmtl_net.dir/rtl_router.cc.o.d"
+  "/root/repo/src/net/traffic.cc" "src/net/CMakeFiles/cmtl_net.dir/traffic.cc.o" "gcc" "src/net/CMakeFiles/cmtl_net.dir/traffic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/core/CMakeFiles/cmtl_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/stdlib/CMakeFiles/cmtl_stdlib.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

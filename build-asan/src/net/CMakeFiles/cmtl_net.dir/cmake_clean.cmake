@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmtl_net.dir/cl_router.cc.o"
+  "CMakeFiles/cmtl_net.dir/cl_router.cc.o.d"
+  "CMakeFiles/cmtl_net.dir/cl_router_spec.cc.o"
+  "CMakeFiles/cmtl_net.dir/cl_router_spec.cc.o.d"
+  "CMakeFiles/cmtl_net.dir/fl_network.cc.o"
+  "CMakeFiles/cmtl_net.dir/fl_network.cc.o.d"
+  "CMakeFiles/cmtl_net.dir/rtl_router.cc.o"
+  "CMakeFiles/cmtl_net.dir/rtl_router.cc.o.d"
+  "CMakeFiles/cmtl_net.dir/traffic.cc.o"
+  "CMakeFiles/cmtl_net.dir/traffic.cc.o.d"
+  "libcmtl_net.a"
+  "libcmtl_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmtl_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmtl_refcpp.dir/refnet.cc.o"
+  "CMakeFiles/cmtl_refcpp.dir/refnet.cc.o.d"
+  "libcmtl_refcpp.a"
+  "libcmtl_refcpp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmtl_refcpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

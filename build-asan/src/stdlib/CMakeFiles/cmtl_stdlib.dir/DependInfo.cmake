@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stdlib/arbiters.cc" "src/stdlib/CMakeFiles/cmtl_stdlib.dir/arbiters.cc.o" "gcc" "src/stdlib/CMakeFiles/cmtl_stdlib.dir/arbiters.cc.o.d"
+  "/root/repo/src/stdlib/queues.cc" "src/stdlib/CMakeFiles/cmtl_stdlib.dir/queues.cc.o" "gcc" "src/stdlib/CMakeFiles/cmtl_stdlib.dir/queues.cc.o.d"
+  "/root/repo/src/stdlib/test_memory.cc" "src/stdlib/CMakeFiles/cmtl_stdlib.dir/test_memory.cc.o" "gcc" "src/stdlib/CMakeFiles/cmtl_stdlib.dir/test_memory.cc.o.d"
+  "/root/repo/src/stdlib/test_source_sink.cc" "src/stdlib/CMakeFiles/cmtl_stdlib.dir/test_source_sink.cc.o" "gcc" "src/stdlib/CMakeFiles/cmtl_stdlib.dir/test_source_sink.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/core/CMakeFiles/cmtl_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmtl_stdlib.dir/arbiters.cc.o"
+  "CMakeFiles/cmtl_stdlib.dir/arbiters.cc.o.d"
+  "CMakeFiles/cmtl_stdlib.dir/queues.cc.o"
+  "CMakeFiles/cmtl_stdlib.dir/queues.cc.o.d"
+  "CMakeFiles/cmtl_stdlib.dir/test_memory.cc.o"
+  "CMakeFiles/cmtl_stdlib.dir/test_memory.cc.o.d"
+  "CMakeFiles/cmtl_stdlib.dir/test_source_sink.cc.o"
+  "CMakeFiles/cmtl_stdlib.dir/test_source_sink.cc.o.d"
+  "libcmtl_stdlib.a"
+  "libcmtl_stdlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmtl_stdlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

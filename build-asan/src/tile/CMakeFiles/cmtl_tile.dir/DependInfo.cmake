@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tile/arbiter.cc" "src/tile/CMakeFiles/cmtl_tile.dir/arbiter.cc.o" "gcc" "src/tile/CMakeFiles/cmtl_tile.dir/arbiter.cc.o.d"
+  "/root/repo/src/tile/cache_cl.cc" "src/tile/CMakeFiles/cmtl_tile.dir/cache_cl.cc.o" "gcc" "src/tile/CMakeFiles/cmtl_tile.dir/cache_cl.cc.o.d"
+  "/root/repo/src/tile/cache_fl.cc" "src/tile/CMakeFiles/cmtl_tile.dir/cache_fl.cc.o" "gcc" "src/tile/CMakeFiles/cmtl_tile.dir/cache_fl.cc.o.d"
+  "/root/repo/src/tile/cache_rtl.cc" "src/tile/CMakeFiles/cmtl_tile.dir/cache_rtl.cc.o" "gcc" "src/tile/CMakeFiles/cmtl_tile.dir/cache_rtl.cc.o.d"
+  "/root/repo/src/tile/dotprod_cl.cc" "src/tile/CMakeFiles/cmtl_tile.dir/dotprod_cl.cc.o" "gcc" "src/tile/CMakeFiles/cmtl_tile.dir/dotprod_cl.cc.o.d"
+  "/root/repo/src/tile/dotprod_fl.cc" "src/tile/CMakeFiles/cmtl_tile.dir/dotprod_fl.cc.o" "gcc" "src/tile/CMakeFiles/cmtl_tile.dir/dotprod_fl.cc.o.d"
+  "/root/repo/src/tile/dotprod_rtl.cc" "src/tile/CMakeFiles/cmtl_tile.dir/dotprod_rtl.cc.o" "gcc" "src/tile/CMakeFiles/cmtl_tile.dir/dotprod_rtl.cc.o.d"
+  "/root/repo/src/tile/isa.cc" "src/tile/CMakeFiles/cmtl_tile.dir/isa.cc.o" "gcc" "src/tile/CMakeFiles/cmtl_tile.dir/isa.cc.o.d"
+  "/root/repo/src/tile/multitile.cc" "src/tile/CMakeFiles/cmtl_tile.dir/multitile.cc.o" "gcc" "src/tile/CMakeFiles/cmtl_tile.dir/multitile.cc.o.d"
+  "/root/repo/src/tile/proc_cl.cc" "src/tile/CMakeFiles/cmtl_tile.dir/proc_cl.cc.o" "gcc" "src/tile/CMakeFiles/cmtl_tile.dir/proc_cl.cc.o.d"
+  "/root/repo/src/tile/proc_fl.cc" "src/tile/CMakeFiles/cmtl_tile.dir/proc_fl.cc.o" "gcc" "src/tile/CMakeFiles/cmtl_tile.dir/proc_fl.cc.o.d"
+  "/root/repo/src/tile/proc_rtl.cc" "src/tile/CMakeFiles/cmtl_tile.dir/proc_rtl.cc.o" "gcc" "src/tile/CMakeFiles/cmtl_tile.dir/proc_rtl.cc.o.d"
+  "/root/repo/src/tile/proc_rtl5.cc" "src/tile/CMakeFiles/cmtl_tile.dir/proc_rtl5.cc.o" "gcc" "src/tile/CMakeFiles/cmtl_tile.dir/proc_rtl5.cc.o.d"
+  "/root/repo/src/tile/programs.cc" "src/tile/CMakeFiles/cmtl_tile.dir/programs.cc.o" "gcc" "src/tile/CMakeFiles/cmtl_tile.dir/programs.cc.o.d"
+  "/root/repo/src/tile/tile.cc" "src/tile/CMakeFiles/cmtl_tile.dir/tile.cc.o" "gcc" "src/tile/CMakeFiles/cmtl_tile.dir/tile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/core/CMakeFiles/cmtl_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/stdlib/CMakeFiles/cmtl_stdlib.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/net/CMakeFiles/cmtl_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmtl_tile.dir/arbiter.cc.o"
+  "CMakeFiles/cmtl_tile.dir/arbiter.cc.o.d"
+  "CMakeFiles/cmtl_tile.dir/cache_cl.cc.o"
+  "CMakeFiles/cmtl_tile.dir/cache_cl.cc.o.d"
+  "CMakeFiles/cmtl_tile.dir/cache_fl.cc.o"
+  "CMakeFiles/cmtl_tile.dir/cache_fl.cc.o.d"
+  "CMakeFiles/cmtl_tile.dir/cache_rtl.cc.o"
+  "CMakeFiles/cmtl_tile.dir/cache_rtl.cc.o.d"
+  "CMakeFiles/cmtl_tile.dir/dotprod_cl.cc.o"
+  "CMakeFiles/cmtl_tile.dir/dotprod_cl.cc.o.d"
+  "CMakeFiles/cmtl_tile.dir/dotprod_fl.cc.o"
+  "CMakeFiles/cmtl_tile.dir/dotprod_fl.cc.o.d"
+  "CMakeFiles/cmtl_tile.dir/dotprod_rtl.cc.o"
+  "CMakeFiles/cmtl_tile.dir/dotprod_rtl.cc.o.d"
+  "CMakeFiles/cmtl_tile.dir/isa.cc.o"
+  "CMakeFiles/cmtl_tile.dir/isa.cc.o.d"
+  "CMakeFiles/cmtl_tile.dir/multitile.cc.o"
+  "CMakeFiles/cmtl_tile.dir/multitile.cc.o.d"
+  "CMakeFiles/cmtl_tile.dir/proc_cl.cc.o"
+  "CMakeFiles/cmtl_tile.dir/proc_cl.cc.o.d"
+  "CMakeFiles/cmtl_tile.dir/proc_fl.cc.o"
+  "CMakeFiles/cmtl_tile.dir/proc_fl.cc.o.d"
+  "CMakeFiles/cmtl_tile.dir/proc_rtl.cc.o"
+  "CMakeFiles/cmtl_tile.dir/proc_rtl.cc.o.d"
+  "CMakeFiles/cmtl_tile.dir/proc_rtl5.cc.o"
+  "CMakeFiles/cmtl_tile.dir/proc_rtl5.cc.o.d"
+  "CMakeFiles/cmtl_tile.dir/programs.cc.o"
+  "CMakeFiles/cmtl_tile.dir/programs.cc.o.d"
+  "CMakeFiles/cmtl_tile.dir/tile.cc.o"
+  "CMakeFiles/cmtl_tile.dir/tile.cc.o.d"
+  "libcmtl_tile.a"
+  "libcmtl_tile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmtl_tile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

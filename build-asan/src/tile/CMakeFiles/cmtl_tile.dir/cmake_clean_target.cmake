@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcmtl_tile.a"
+)

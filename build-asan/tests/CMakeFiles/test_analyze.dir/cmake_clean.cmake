@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analyze.dir/core/test_analyze.cc.o"
+  "CMakeFiles/test_analyze.dir/core/test_analyze.cc.o.d"
+  "test_analyze"
+  "test_analyze.pdb"
+  "test_analyze[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

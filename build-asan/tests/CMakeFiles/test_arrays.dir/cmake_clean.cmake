@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arrays.dir/core/test_arrays.cc.o"
+  "CMakeFiles/test_arrays.dir/core/test_arrays.cc.o.d"
+  "test_arrays"
+  "test_arrays.pdb"
+  "test_arrays[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arrays.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bitstruct.dir/core/test_bitstruct.cc.o"
+  "CMakeFiles/test_bitstruct.dir/core/test_bitstruct.cc.o.d"
+  "test_bitstruct"
+  "test_bitstruct.pdb"
+  "test_bitstruct[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bitstruct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

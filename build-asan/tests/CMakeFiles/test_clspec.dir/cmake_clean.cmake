@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clspec.dir/net/test_clspec.cc.o"
+  "CMakeFiles/test_clspec.dir/net/test_clspec.cc.o.d"
+  "test_clspec"
+  "test_clspec.pdb"
+  "test_clspec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clspec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

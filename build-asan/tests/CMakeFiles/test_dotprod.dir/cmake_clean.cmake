@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dotprod.dir/tile/test_dotprod.cc.o"
+  "CMakeFiles/test_dotprod.dir/tile/test_dotprod.cc.o.d"
+  "test_dotprod"
+  "test_dotprod.pdb"
+  "test_dotprod[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dotprod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

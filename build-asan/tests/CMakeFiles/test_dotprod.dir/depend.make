@@ -1,0 +1,2 @@
+# Empty dependencies file for test_dotprod.
+# This may be replaced when dependencies are built.

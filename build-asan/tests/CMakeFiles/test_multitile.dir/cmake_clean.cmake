@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multitile.dir/tile/test_multitile.cc.o"
+  "CMakeFiles/test_multitile.dir/tile/test_multitile.cc.o.d"
+  "test_multitile"
+  "test_multitile.pdb"
+  "test_multitile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multitile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_props.dir/net/test_net_props.cc.o"
+  "CMakeFiles/test_net_props.dir/net/test_net_props.cc.o.d"
+  "test_net_props"
+  "test_net_props.pdb"
+  "test_net_props[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_props.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_proc_rtl5.dir/tile/test_proc_rtl5.cc.o"
+  "CMakeFiles/test_proc_rtl5.dir/tile/test_proc_rtl5.cc.o.d"
+  "test_proc_rtl5"
+  "test_proc_rtl5.pdb"
+  "test_proc_rtl5[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_proc_rtl5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

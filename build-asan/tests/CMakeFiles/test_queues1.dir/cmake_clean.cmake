@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_queues1.dir/stdlib/test_queues1.cc.o"
+  "CMakeFiles/test_queues1.dir/stdlib/test_queues1.cc.o.d"
+  "test_queues1"
+  "test_queues1.pdb"
+  "test_queues1[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_queues1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stdlib.dir/stdlib/test_stdlib.cc.o"
+  "CMakeFiles/test_stdlib.dir/stdlib/test_stdlib.cc.o.d"
+  "test_stdlib"
+  "test_stdlib.pdb"
+  "test_stdlib[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stdlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

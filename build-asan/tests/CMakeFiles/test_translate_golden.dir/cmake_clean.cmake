@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_translate_golden.dir/core/test_translate_golden.cc.o"
+  "CMakeFiles/test_translate_golden.dir/core/test_translate_golden.cc.o.d"
+  "test_translate_golden"
+  "test_translate_golden.pdb"
+  "test_translate_golden[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_translate_golden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

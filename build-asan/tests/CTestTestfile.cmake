@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-asan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-asan/tests/test_bits[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_bitstruct[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_ir[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_arrays[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_model[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_sim[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_tools[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_analyze[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_translate_golden[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_stdlib[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_net[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_isa[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_tile[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_hybrid[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_stats[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_clspec[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_proc[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_dotprod[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_queues1[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_net_props[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_multitile[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_proc_rtl5[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_cache[1]_include.cmake")

@@ -11,6 +11,7 @@ include("/root/repo/build/tests/test_arrays[1]_include.cmake")
 include("/root/repo/build/tests/test_model[1]_include.cmake")
 include("/root/repo/build/tests/test_sim[1]_include.cmake")
 include("/root/repo/build/tests/test_tools[1]_include.cmake")
+include("/root/repo/build/tests/test_analyze[1]_include.cmake")
 include("/root/repo/build/tests/test_translate_golden[1]_include.cmake")
 include("/root/repo/build/tests/test_stdlib[1]_include.cmake")
 include("/root/repo/build/tests/test_net[1]_include.cmake")
