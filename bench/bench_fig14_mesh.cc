@@ -72,6 +72,14 @@ main(int argc, char **argv)
     }
     double ref_rate = static_cast<double>(ref_cycles) / ref_sw.elapsed();
 
+    JsonWriter json("BENCH_fig14_mesh.json");
+    json.beginObject();
+    json.field("bench", "fig14_mesh");
+    json.field("nodes", kNodes);
+    json.field("injection_rate", kInjection);
+    json.field("handcpp_cycles_per_second", ref_rate);
+    json.key("levels").beginArray();
+
     for (NetLevel level :
          {NetLevel::FL, NetLevel::CLSpec, NetLevel::RTL}) {
         rule('=');
@@ -91,6 +99,22 @@ main(int argc, char **argv)
             results.emplace_back(mode.name,
                                  measureLevel(level, mode.cfg));
         }
+
+        json.beginObject();
+        json.field("level", netLevelName(level));
+        json.key("configs").beginArray();
+        for (const auto &[name, r] : results) {
+            json.beginObject();
+            json.field("config", name);
+            json.field("cycles_per_second", r.cycles_per_second);
+            json.field("setup_seconds", r.setup_seconds);
+            json.field("codegen_seconds", r.spec.codegenSeconds);
+            json.field("compile_seconds", r.spec.compileSeconds);
+            json.field("cache_hit", r.spec.cacheHit);
+            json.endObject();
+        }
+        json.endArray();
+        json.endObject();
 
         const RateResult &interp = results.front().second;
         std::printf("%-14s %12s %8s", "config", "cycles/s",
@@ -127,5 +151,8 @@ main(int argc, char **argv)
                         level == NetLevel::RTL ? "6x" : "4x");
         }
     }
+    json.endArray();
+    json.endObject();
+    std::printf("wrote BENCH_fig14_mesh.json\n");
     return 0;
 }

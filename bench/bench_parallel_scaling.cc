@@ -1,0 +1,172 @@
+/**
+ * @file
+ * ParSim thread-scaling baseline.
+ *
+ * Sweeps the parallel kernel across thread counts on the two
+ * parallelism-relevant workloads — the 8x8 mesh RTL network near
+ * saturation and the multi-tile system over the CL mesh — and records
+ * the first machine-readable perf baseline in
+ * BENCH_parallel_scaling.json. Speedups are self-relative (ParSim at N
+ * threads vs the sequential SimulationTool on the same design and
+ * SpecMode), the honest number for a bulk-synchronous kernel: it
+ * includes every barrier and boundary-push cost.
+ *
+ * The JSON records host_cpus alongside the rates; scaling measured on
+ * a host with fewer cores than threads is oversubscribed and must be
+ * read as a correctness/overhead datapoint, not a speedup claim.
+ */
+
+#include <thread>
+
+#include "common.h"
+#include "core/psim.h"
+#include "core/stats.h"
+#include "net/traffic.h"
+#include "tile/multitile.h"
+
+namespace {
+
+using namespace cmtl;
+using namespace cmtl::bench;
+using net::MeshTrafficTop;
+using net::NetLevel;
+
+SimConfig
+cfgFor(SpecMode spec, int threads)
+{
+    SimConfig cfg;
+    cfg.exec = ExecMode::OptInterp;
+    cfg.spec = spec;
+    cfg.threads = threads;
+    return cfg;
+}
+
+std::unique_ptr<Simulator>
+makeMesh(SpecMode spec, int threads)
+{
+    static std::unique_ptr<MeshTrafficTop> top;
+    top = std::make_unique<MeshTrafficTop>("top", NetLevel::RTL, 64, 4,
+                                           0.30, 1);
+    return makeSimulator(top->elaborate(), cfgFor(spec, threads));
+}
+
+std::unique_ptr<Simulator>
+makeMultiTile(SpecMode spec, int threads)
+{
+    using namespace tile;
+    static std::unique_ptr<MultiTileSystem> sys;
+    static Workload w = makeMvmultMultiTile(8, false);
+    sys = std::make_unique<MultiTileSystem>(
+        "sys",
+        std::vector<std::array<Level, 3>>(
+            4, {Level::RTL, Level::RTL, Level::RTL}),
+        /*cl_network=*/true);
+    sys->loadProgram(w.image);
+    loadMvmultData(sys->memNode(), w);
+    return makeSimulator(sys->elaborate(), cfgFor(spec, threads));
+}
+
+struct Scenario
+{
+    const char *name;
+    SpecMode spec;
+    std::unique_ptr<Simulator> (*make)(SpecMode, int);
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool full = fullScale(argc, argv);
+    double budget = full ? 4.0 : 1.5;
+    std::vector<int> thread_counts = {1, 2, 4};
+    if (full)
+        thread_counts.push_back(8);
+    int host_cpus =
+        static_cast<int>(std::thread::hardware_concurrency());
+
+    std::vector<Scenario> scenarios = {
+        {"mesh_rtl_8x8", SpecMode::None, makeMesh},
+        {"mesh_rtl_8x8_bytecode", SpecMode::Bytecode, makeMesh},
+        {"multitile_4rtl_mesh", SpecMode::Bytecode, makeMultiTile},
+    };
+
+    std::printf("ParSim thread scaling (host cpus: %d)\n", host_cpus);
+    if (host_cpus < thread_counts.back()) {
+        std::printf("NOTE: fewer host cpus than max threads; scaling "
+                    "numbers are oversubscribed\n");
+    }
+
+    JsonWriter json("BENCH_parallel_scaling.json");
+    json.beginObject();
+    json.field("bench", "parallel_scaling");
+    json.field("host_cpus", host_cpus);
+    json.key("scenarios").beginArray();
+
+    for (const Scenario &sc : scenarios) {
+        rule('=');
+        std::printf("%s (spec %s)\n", sc.name,
+                    sc.spec == SpecMode::None ? "None" : "Bytecode");
+        rule('=');
+        std::printf("%8s %14s %10s %10s\n", "threads", "cycles/s",
+                    "speedup", "islands");
+
+        json.beginObject();
+        json.field("name", sc.name);
+        json.field("spec",
+                   sc.spec == SpecMode::None ? "none" : "bytecode");
+        json.key("points").beginArray();
+
+        double base_rate = 0.0;
+        for (int threads : thread_counts) {
+            RateResult r = measureRate(
+                [&] { return sc.make(sc.spec, threads); }, budget);
+            if (threads == 1)
+                base_rate = r.cycles_per_second;
+            double speedup =
+                base_rate > 0 ? r.cycles_per_second / base_rate : 0.0;
+
+            // Partition shape at this thread count (threads=1 is the
+            // sequential kernel: no partition).
+            int nislands = 1, nlevels = 1, cut = 0;
+            double imbalance = 1.0;
+            if (threads > 1) {
+                std::unique_ptr<Simulator> probe =
+                    sc.make(sc.spec, threads);
+                auto *par =
+                    dynamic_cast<ParSimulationTool *>(probe.get());
+                if (par) {
+                    nislands = par->plan().nislands;
+                    nlevels = par->plan().nlevels;
+                    cut = par->plan().cutTokens;
+                    imbalance = par->plan().imbalance();
+                    if (threads == thread_counts[1])
+                        std::printf("%s",
+                                    simulatorReport(*par).c_str());
+                }
+            }
+
+            std::printf("%8d %14.0f %9.2fx %10d\n", threads,
+                        r.cycles_per_second, speedup, nislands);
+
+            json.beginObject();
+            json.field("threads", threads);
+            json.field("cycles_per_second", r.cycles_per_second);
+            json.field("speedup_vs_1thread", speedup);
+            json.field("setup_seconds", r.setup_seconds);
+            json.field("measured_cycles", r.measured_cycles);
+            json.field("islands", nislands);
+            json.field("settle_supersteps", nlevels);
+            json.field("cut_tokens", cut);
+            json.field("imbalance", imbalance);
+            json.endObject();
+        }
+        json.endArray();
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+    std::printf("wrote BENCH_parallel_scaling.json\n");
+    return 0;
+}

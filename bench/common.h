@@ -82,15 +82,15 @@ struct RateResult
 /**
  * Measure the steady-state simulation rate of a simulator produced by
  * @p make_sim. The factory owns its model; the callback returns a
- * ready simulator.
+ * ready simulator (either kernel behind the Simulator interface).
  */
 inline RateResult
-measureRate(const std::function<std::unique_ptr<SimulationTool>()> &make,
+measureRate(const std::function<std::unique_ptr<Simulator>()> &make,
             double budget_seconds = 2.0, uint64_t warmup_cycles = 64)
 {
     RateResult out;
     Stopwatch setup;
-    std::unique_ptr<SimulationTool> sim = make();
+    std::unique_ptr<Simulator> sim = make();
     out.setup_seconds = setup.elapsed();
     out.spec = sim->specStats();
 
@@ -124,6 +124,177 @@ rule(char c = '-', int width = 78)
         std::putchar(c);
     std::putchar('\n');
 }
+
+/**
+ * Minimal streaming JSON writer for machine-readable bench baselines
+ * (BENCH_*.json). Handles nesting and comma placement; values are
+ * written eagerly, so memory use is constant.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(const std::string &path)
+        : out_(std::fopen(path.c_str(), "w"))
+    {
+        if (!out_)
+            std::perror(("cannot write " + path).c_str());
+    }
+
+    ~JsonWriter()
+    {
+        if (out_) {
+            std::fputc('\n', out_);
+            std::fclose(out_);
+        }
+    }
+
+    JsonWriter(const JsonWriter &) = delete;
+    JsonWriter &operator=(const JsonWriter &) = delete;
+
+    JsonWriter &
+    beginObject()
+    {
+        sep();
+        raw("{");
+        fresh_.push_back(true);
+        return *this;
+    }
+
+    JsonWriter &
+    endObject()
+    {
+        fresh_.pop_back();
+        raw("}");
+        return *this;
+    }
+
+    JsonWriter &
+    beginArray()
+    {
+        sep();
+        raw("[");
+        fresh_.push_back(true);
+        return *this;
+    }
+
+    JsonWriter &
+    endArray()
+    {
+        fresh_.pop_back();
+        raw("]");
+        return *this;
+    }
+
+    JsonWriter &
+    key(const std::string &k)
+    {
+        sep();
+        writeString(k);
+        raw(":");
+        pending_value_ = true;
+        return *this;
+    }
+
+    JsonWriter &
+    value(const std::string &v)
+    {
+        sep();
+        writeString(v);
+        return *this;
+    }
+
+    JsonWriter &
+    value(const char *v)
+    {
+        return value(std::string(v));
+    }
+
+    JsonWriter &
+    value(double v)
+    {
+        sep();
+        if (out_)
+            std::fprintf(out_, "%.6g", v);
+        return *this;
+    }
+
+    JsonWriter &
+    value(uint64_t v)
+    {
+        sep();
+        if (out_)
+            std::fprintf(out_, "%llu",
+                         static_cast<unsigned long long>(v));
+        return *this;
+    }
+
+    JsonWriter &
+    value(int v)
+    {
+        sep();
+        if (out_)
+            std::fprintf(out_, "%d", v);
+        return *this;
+    }
+
+    JsonWriter &
+    value(bool v)
+    {
+        sep();
+        raw(v ? "true" : "false");
+        return *this;
+    }
+
+    /** key + scalar value in one call. */
+    template <typename T>
+    JsonWriter &
+    field(const std::string &k, const T &v)
+    {
+        key(k);
+        return value(v);
+    }
+
+  private:
+    void
+    sep()
+    {
+        if (pending_value_) {
+            // The comma (if any) was written with the key.
+            pending_value_ = false;
+            return;
+        }
+        if (!fresh_.empty()) {
+            if (!fresh_.back())
+                raw(",");
+            fresh_.back() = false;
+        }
+    }
+
+    void
+    raw(const char *s)
+    {
+        if (out_)
+            std::fputs(s, out_);
+    }
+
+    void
+    writeString(const std::string &s)
+    {
+        if (!out_)
+            return;
+        std::fputc('"', out_);
+        for (char c : s) {
+            if (c == '"' || c == '\\')
+                std::fputc('\\', out_);
+            std::fputc(c, out_);
+        }
+        std::fputc('"', out_);
+    }
+
+    std::FILE *out_;
+    std::vector<bool> fresh_; //!< per nesting level: no entry yet
+    bool pending_value_ = false;
+};
 
 } // namespace bench
 } // namespace cmtl

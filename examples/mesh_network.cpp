@@ -7,13 +7,19 @@
  * test harness drives FL, CL and RTL implementations interchangeably.
  * Also dumps a short VCD waveform of the RTL mesh.
  *
- * Usage: mesh_network [fl|cl|clspec|rtl] [nrouters]
+ * Usage: mesh_network [fl|cl|clspec|rtl] [nrouters] [--threads N]
+ *
+ * With --threads N > 1 the sweep runs on the parallel ParSim kernel
+ * (bit-identical to the sequential one) and prints its partition
+ * report.
  */
 
 #include <cstdio>
 #include <cstring>
 
+#include "core/psim.h"
 #include "core/sim.h"
+#include "core/stats.h"
 #include "core/vcd.h"
 #include "net/traffic.h"
 
@@ -24,31 +30,47 @@ int
 main(int argc, char **argv)
 {
     NetLevel level = NetLevel::CL;
-    if (argc >= 2) {
-        if (!std::strcmp(argv[1], "fl"))
+    int nrouters = 16;
+    int threads = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "fl"))
             level = NetLevel::FL;
-        else if (!std::strcmp(argv[1], "clspec"))
+        else if (!std::strcmp(argv[i], "cl"))
+            level = NetLevel::CL;
+        else if (!std::strcmp(argv[i], "clspec"))
             level = NetLevel::CLSpec;
-        else if (!std::strcmp(argv[1], "rtl"))
+        else if (!std::strcmp(argv[i], "rtl"))
             level = NetLevel::RTL;
+        else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc)
+            threads = std::atoi(argv[++i]);
+        else if (std::atoi(argv[i]) > 0)
+            nrouters = std::atoi(argv[i]);
     }
-    int nrouters = argc >= 3 ? std::atoi(argv[2]) : 16;
 
-    std::printf("%s mesh, %d routers, uniform random traffic\n\n",
-                netLevelName(level), nrouters);
+    SimConfig cfg;
+    cfg.threads = threads;
+
+    std::printf("%s mesh, %d routers, uniform random traffic, %d "
+                "thread(s)\n\n",
+                netLevelName(level), nrouters, threads);
     std::printf("%9s %12s %12s\n", "injection", "avg latency",
                 "throughput");
+    bool reported = false;
     for (double inj : {0.02, 0.10, 0.20, 0.30, 0.40}) {
         auto top = std::make_unique<MeshTrafficTop>("top", level,
                                                     nrouters, 4, inj, 7);
         auto elab = top->elaborate();
-        SimulationTool sim(elab);
-        sim.cycle(500);
+        auto sim = makeSimulator(elab, cfg);
+        sim->cycle(500);
         top->resetStats();
-        sim.cycle(2000);
+        sim->cycle(2000);
         std::printf("%8.0f%% %12.2f %11.1f%%\n", inj * 100,
                     top->stats().avgLatency(),
                     top->stats().throughput(nrouters) * 100);
+        if (threads > 1 && !reported) {
+            reported = true;
+            std::printf("\n%s\n", simulatorReport(*sim).c_str());
+        }
     }
 
     // Waveform dump of a short RTL run (viewable with gtkwave).

@@ -4,6 +4,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -111,31 +112,43 @@ CppJit::compile(const std::string &source, int ngroups)
     CppJitLibrary lib;
     std::string hash = sourceHash(source);
     std::string base = cache_dir_ + "/cmtl_" + hash;
-    std::string cc_path = base + ".cc";
     std::string so_path = base + ".so";
 
     double t0 = seconds();
     if (use_cache_ && fileExists(so_path)) {
         lib.cache_hit_ = true;
     } else {
+        // Scratch paths are unique per compile (pid + process-wide
+        // counter): two simulators compiling the same source
+        // concurrently — same process or not — must not clobber each
+        // other's in-progress files. Only the final rename below is
+        // shared, and rename is atomic.
+        static std::atomic<uint64_t> compile_seq{0};
+        std::string scratch = base + ".build." +
+                              std::to_string(::getpid()) + "." +
+                              std::to_string(compile_seq.fetch_add(1));
+        std::string cc_path = scratch + ".cc";
+        std::string log_path = scratch + ".log";
+        std::string tmp_so = scratch + ".so";
         {
             std::ofstream out(cc_path);
             if (!out)
                 throw std::runtime_error("SimJIT: cannot write " + cc_path);
             out << source;
         }
-        std::string tmp_so = so_path + ".tmp." + std::to_string(::getpid());
         // -O1, like the paper's verilator flow ("the relatively fast
         // -O1 optimization level").
         std::string cmd = "g++ -O1 -shared -fPIC -o " + tmp_so + " " +
-                          cc_path + " 2> " + base + ".log";
+                          cc_path + " 2> " + log_path;
         if (runCommand(cmd) != 0) {
             throw std::runtime_error(
-                "SimJIT: compiler failed; see " + base + ".log");
+                "SimJIT: compiler failed; see " + log_path);
         }
-        // Atomic publish so concurrent processes share the cache safely.
+        // Atomic publish so concurrent compiles share the cache safely.
         if (::rename(tmp_so.c_str(), so_path.c_str()) != 0)
             throw std::runtime_error("SimJIT: cannot publish " + so_path);
+        std::remove(cc_path.c_str());
+        std::remove(log_path.c_str());
     }
     lib.compile_seconds_ = seconds() - t0;
 

@@ -1,0 +1,523 @@
+#include "psim.h"
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+#include <stdexcept>
+
+#include "ir_cpp.h"
+#include "timing.h"
+
+namespace cmtl {
+
+namespace {
+
+/**
+ * Which replica the current thread addresses: worker threads bind to
+ * their island for the thread's lifetime; the coordinating thread (and
+ * any other host thread) stays at -1 and routes through token owners.
+ */
+thread_local int tls_island = -1;
+
+} // namespace
+
+ParSimulationTool::ParSimulationTool(std::shared_ptr<Elaboration> elab,
+                                     SimConfig cfg)
+    : Simulator(std::move(elab), cfg),
+      plan_(partitionDesign(*elab_, cfg.threads)),
+      bar_all_(plan_.nislands + 1),
+      bar_workers_(plan_.nislands)
+{
+    Stopwatch sw;
+
+    if (cfg_.exec != ExecMode::OptInterp) {
+        throw std::logic_error(
+            "ParSim requires ExecMode::OptInterp (dense arena storage)");
+    }
+    if (cfg_.sched == SchedMode::Event) {
+        throw std::logic_error(
+            "ParSim is statically scheduled; SchedMode::Event is "
+            "sequential-only");
+    }
+
+    replicas_.reserve(plan_.nislands);
+    evals_.reserve(plan_.nislands);
+    for (int i = 0; i < plan_.nislands; ++i) {
+        replicas_.push_back(std::make_unique<ArenaStore>(*elab_));
+        evals_.push_back(std::make_unique<SlotEvaluator>(*replicas_[i]));
+    }
+
+    const size_t nnets = elab_->nets.size();
+    is_main_flop_.assign(nnets, 0);
+    static_island_flop_.assign(nnets, 0);
+    for (const Net &net : elab_->nets) {
+        if (net.floppedStatic && plan_.ownerOf[net.id] >= 0)
+            static_island_flop_[net.id] = 1;
+    }
+
+    for (Signal *sig : elab_->signals)
+        sig->setAccess(this);
+    try {
+        buildIslandSchedules();
+        double create_before_spec = sw.elapsed();
+        if (cfg_.spec != SpecMode::None)
+            specialize();
+        startWorkers();
+        spec_stats_.simCreateSeconds =
+            create_before_spec +
+            (sw.elapsed() - create_before_spec -
+             spec_stats_.codegenSeconds - spec_stats_.compileSeconds -
+             spec_stats_.wrapSeconds);
+    } catch (...) {
+        for (Signal *sig : elab_->signals) {
+            if (sig->access() == this)
+                sig->setAccess(nullptr);
+        }
+        throw;
+    }
+}
+
+ParSimulationTool::~ParSimulationTool()
+{
+    shutdownWorkers();
+    for (Signal *sig : elab_->signals) {
+        if (sig->access() == this)
+            sig->setAccess(nullptr);
+    }
+}
+
+void
+ParSimulationTool::buildIslandSchedules()
+{
+    const auto &blocks = elab_->blocks;
+    spec_stats_.numBlocks = static_cast<int>(blocks.size());
+
+    const int n = plan_.nislands;
+    comb_steps_.resize(n);
+    tick_steps_.resize(n);
+    comb_pushes_.assign(
+        n, std::vector<std::vector<CopyOp>>(plan_.nlevels));
+    flop_pushes_.resize(n);
+
+    // A push targets every non-owner island with a static reader. The
+    // coordinating thread reads owner replicas directly and never
+    // needs one.
+    auto pushTargets = [&](int token, int owner, std::vector<CopyOp> &out) {
+        if (token >= static_cast<int>(elab_->nets.size()))
+            return; // arrays are island-local by construction
+        for (int dst : plan_.readerIslands[token]) {
+            if (dst != owner) {
+                out.push_back(CopyOp{dst, replicas_[0]->offset(token),
+                                     replicas_[0]->nwords(token)});
+            }
+        }
+    };
+
+    for (int i = 0; i < n; ++i) {
+        const PartitionIsland &isl = plan_.islands[i];
+        for (size_t k = 0; k < isl.combBlocks.size(); ++k) {
+            PStep step;
+            step.block = isl.combBlocks[k];
+            step.level = isl.combLevels[k];
+            comb_steps_[i].push_back(step);
+        }
+        for (int b : isl.tickBlocks) {
+            PStep step;
+            step.block = b;
+            tick_steps_[i].push_back(step);
+        }
+
+        // Comb pushes, deduplicated per (level, token).
+        std::set<std::pair<int, int>> seen;
+        for (const PStep &step : comb_steps_[i]) {
+            for (int t : blocks[step.block].writes) {
+                if (seen.insert({step.level, t}).second)
+                    pushTargets(t, i, comb_pushes_[i][step.level]);
+            }
+        }
+
+        // Flop pushes: post-flop values of owned flopped nets, plus
+        // nets this island's tick blocks write blockingly (a tick
+        // write to a net that is not statically flopped mutates the
+        // current value directly).
+        std::set<int> fseen;
+        for (int t : isl.flopNets) {
+            if (fseen.insert(t).second)
+                pushTargets(t, i, flop_pushes_[i]);
+        }
+        for (const PStep &step : tick_steps_[i]) {
+            for (int t : blocks[step.block].writes) {
+                if (t < static_cast<int>(elab_->nets.size()) &&
+                    !elab_->nets[t].floppedStatic && fseen.insert(t).second)
+                    pushTargets(t, i, flop_pushes_[i]);
+            }
+        }
+    }
+}
+
+void
+ParSimulationTool::specialize()
+{
+    Stopwatch sw;
+    const auto &blocks = elab_->blocks;
+    specialized_.assign(blocks.size(), 0);
+    for (size_t b = 0; b < blocks.size(); ++b) {
+        if (blocks[b].ir && bcSpecializable(blocks[b], *replicas_[0])) {
+            specialized_[b] = 1;
+            ++spec_stats_.numSpecialized;
+        }
+    }
+
+    if (cfg_.spec == SpecMode::Bytecode) {
+        // One shared program per block: programs address the arena by
+        // absolute offset, so every island runs them against its own
+        // replica's data pointer. Scratch is per island.
+        bc_programs_.resize(blocks.size());
+        int max_scratch = 0;
+        auto compileSteps = [&](std::vector<PStep> &steps) {
+            for (PStep &step : steps) {
+                if (!specialized_[step.block])
+                    continue;
+                step.kind = PStep::Kind::Bytecode;
+                if (bc_programs_[step.block].insts.empty()) {
+                    bc_programs_[step.block] =
+                        bcCompile(blocks[step.block], *replicas_[0]);
+                    max_scratch = std::max(
+                        max_scratch, bc_programs_[step.block].nscratch);
+                }
+            }
+        };
+        for (int i = 0; i < plan_.nislands; ++i) {
+            compileSteps(comb_steps_[i]);
+            compileSteps(tick_steps_[i]);
+        }
+        bc_scratch_.assign(
+            plan_.nislands,
+            std::vector<uint64_t>(static_cast<size_t>(max_scratch) + 1, 0));
+        spec_stats_.numGroups = spec_stats_.numSpecialized;
+        spec_stats_.codegenSeconds = sw.elapsed();
+        return;
+    }
+
+    // SpecMode::Cpp: fuse contiguous specializable runs of one island
+    // (same superstep level for comb, the whole list for ticks) into
+    // compiled groups; each group is invoked with the island's replica
+    // data pointer.
+    std::vector<std::vector<int>> groups;
+    auto groupSteps = [&](std::vector<PStep> &steps, bool levelBound) {
+        std::vector<PStep> out;
+        size_t i = 0;
+        while (i < steps.size()) {
+            if (!specialized_[steps[i].block]) {
+                out.push_back(steps[i]);
+                ++i;
+                continue;
+            }
+            std::vector<int> group;
+            size_t j = i;
+            while (j < steps.size() && specialized_[steps[j].block] &&
+                   (!levelBound || steps[j].level == steps[i].level)) {
+                group.push_back(steps[j].block);
+                ++j;
+            }
+            PStep step;
+            step.kind = PStep::Kind::Native;
+            step.block = steps[i].block;
+            step.group = static_cast<int>(groups.size());
+            step.level = steps[i].level;
+            groups.push_back(std::move(group));
+            out.push_back(step);
+            i = j;
+        }
+        steps = std::move(out);
+    };
+    for (int i = 0; i < plan_.nislands; ++i) {
+        groupSteps(comb_steps_[i], true);
+        groupSteps(tick_steps_[i], false);
+    }
+    spec_stats_.numGroups = static_cast<int>(groups.size());
+
+    std::string source = cppEmitProgram(*elab_, *replicas_[0], groups);
+    spec_stats_.codegenSeconds = sw.elapsed();
+
+    CppJit jit(cfg_.jit_cache_dir.empty() ? CppJit::defaultCacheDir()
+                                          : cfg_.jit_cache_dir,
+               cfg_.jit_cache);
+    cpp_lib_ = jit.compile(source, static_cast<int>(groups.size()));
+    spec_stats_.compileSeconds = cpp_lib_.compileSeconds();
+    spec_stats_.wrapSeconds = cpp_lib_.wrapSeconds();
+    spec_stats_.cacheHit = cpp_lib_.cacheHit();
+}
+
+// ------------------------------------------------------ thread pool
+
+void
+ParSimulationTool::startWorkers()
+{
+    workers_.reserve(plan_.nislands);
+    for (int i = 0; i < plan_.nislands; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+void
+ParSimulationTool::shutdownWorkers()
+{
+    if (workers_.empty())
+        return;
+    cmd_ = Cmd::Exit;
+    bar_all_.arriveAndWait();
+    for (std::thread &t : workers_)
+        t.join();
+    workers_.clear();
+}
+
+void
+ParSimulationTool::workerLoop(int island)
+{
+    tls_island = island;
+    for (;;) {
+        bar_all_.arriveAndWait(); // start: cmd_ published by coordinator
+        Cmd cmd = cmd_;
+        if (cmd == Cmd::Exit)
+            return;
+        try {
+            switch (cmd) {
+              case Cmd::Settle:
+                runIslandSettle(island);
+                break;
+              case Cmd::Tick:
+                runIslandTick(island);
+                break;
+              case Cmd::Flop:
+                runIslandFlop(island);
+                break;
+              case Cmd::Exit:
+                break;
+            }
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(error_mu_);
+            if (!worker_error_)
+                worker_error_ = std::current_exception();
+            failed_.store(true, std::memory_order_release);
+        }
+        bar_all_.arriveAndWait(); // done
+    }
+}
+
+void
+ParSimulationTool::runPhase(Cmd cmd)
+{
+    cmd_ = cmd;
+    bar_all_.arriveAndWait(); // start
+    if (cmd == Cmd::Tick) {
+        // Tick lambdas (undeclared effects) always run here, in
+        // declaration order: sequential semantics by construction.
+        for (int b : plan_.lambdaTicks)
+            elab_->blocks[b].fn();
+    } else if (cmd == Cmd::Flop) {
+        // Dynamically registered flops were written into every
+        // replica's next region at writeNext time; flopping each
+        // replica yields the same current value everywhere. These nets
+        // are disjoint from every island's flop and push targets.
+        for (int net : main_flops_) {
+            for (auto &replica : replicas_)
+                replica->flop(net);
+        }
+    }
+    bar_all_.arriveAndWait(); // done
+    if (failed_.load(std::memory_order_acquire)) {
+        std::lock_guard<std::mutex> lock(error_mu_);
+        failed_.store(false, std::memory_order_relaxed);
+        std::exception_ptr err = worker_error_;
+        worker_error_ = nullptr;
+        std::rethrow_exception(err);
+    }
+}
+
+// -------------------------------------------------- island execution
+
+void
+ParSimulationTool::runPStep(int island, const PStep &step)
+{
+    switch (step.kind) {
+      case PStep::Kind::Slot:
+        evals_[island]->run(elab_->blocks[step.block], nullptr);
+        break;
+      case PStep::Kind::Bytecode:
+        bcRun(bc_programs_[step.block], replicas_[island]->data(),
+              bc_scratch_[island].data());
+        break;
+      case PStep::Kind::Native:
+        cpp_lib_.group(step.group)(replicas_[island]->data());
+        break;
+    }
+}
+
+void
+ParSimulationTool::pushCur(int island, const CopyOp &op)
+{
+    const uint64_t *src = replicas_[island]->data() + op.off;
+    uint64_t *dst = replicas_[op.dst]->data() + op.off;
+    std::memcpy(dst, src, static_cast<size_t>(op.n) * sizeof(uint64_t));
+}
+
+void
+ParSimulationTool::runIslandSettle(int island)
+{
+    const std::vector<PStep> &steps = comb_steps_[island];
+    size_t k = 0;
+    for (int lvl = 0; lvl < plan_.nlevels; ++lvl) {
+        for (; k < steps.size() && steps[k].level == lvl; ++k)
+            runPStep(island, steps[k]);
+        for (const CopyOp &op : comb_pushes_[island][lvl])
+            pushCur(island, op);
+        // Cross-island readers of this superstep's values run at a
+        // later level, after this barrier publishes the pushes.
+        if (lvl + 1 < plan_.nlevels)
+            bar_workers_.arriveAndWait();
+    }
+}
+
+void
+ParSimulationTool::runIslandTick(int island)
+{
+    for (const PStep &step : tick_steps_[island])
+        runPStep(island, step);
+}
+
+void
+ParSimulationTool::runIslandFlop(int island)
+{
+    for (int net : plan_.islands[island].flopNets)
+        replicas_[island]->flop(net);
+    // Publish post-flop (and blocking-tick-written) current values.
+    // No barrier needed before the pushes: each copied net is owned by
+    // exactly one island, and flop targets are island-owned too, so
+    // all concurrent writes land in disjoint words.
+    for (const CopyOp &op : flop_pushes_[island])
+        pushCur(island, op);
+}
+
+// ------------------------------------------------------- simulation
+
+void
+ParSimulationTool::settlePhase()
+{
+    runPhase(Cmd::Settle);
+    dirty_ = false;
+}
+
+void
+ParSimulationTool::cycle()
+{
+    if (dirty_)
+        settlePhase();
+    runPhase(Cmd::Tick);
+    runPhase(Cmd::Flop);
+    settlePhase();
+    ++ncycles_;
+    for (const auto &hook : cycle_hooks_)
+        hook(ncycles_);
+}
+
+void
+ParSimulationTool::eval()
+{
+    settlePhase();
+}
+
+// ----------------------------------------------------- signal access
+
+ArenaStore &
+ParSimulationTool::replicaFor(int net) const
+{
+    if (tls_island >= 0)
+        return *replicas_[tls_island];
+    int owner = plan_.ownerOf[net];
+    return *replicas_[owner >= 0 ? owner : 0];
+}
+
+void
+ParSimulationTool::markMainFlop(int net)
+{
+    if (!is_main_flop_[net]) {
+        is_main_flop_[net] = 1;
+        main_flops_.push_back(net);
+    }
+}
+
+Bits
+ParSimulationTool::readNet(int net) const
+{
+    return replicaFor(net).read(net);
+}
+
+Bits
+ParSimulationTool::read(const Signal &sig) const
+{
+    return replicaFor(sig.netId()).read(sig.netId());
+}
+
+void
+ParSimulationTool::write(Signal &sig, const Bits &value)
+{
+    int net = sig.netId();
+    if (tls_island >= 0) {
+        // Comb lambda on a worker: writes are declared, so the push
+        // lists already publish them; change detection is not needed
+        // under static scheduling.
+        replicas_[tls_island]->write(net, value);
+        return;
+    }
+    // Coordinator (test bench or tick lambda): keep every replica
+    // coherent so any reader island sees the value next phase.
+    bool changed = replicaFor(net).write(net, value);
+    for (auto &replica : replicas_)
+        replica->write(net, value);
+    if (changed)
+        dirty_ = true;
+}
+
+void
+ParSimulationTool::writeNext(Signal &sig, const Bits &value)
+{
+    int net = sig.netId();
+    if (tls_island >= 0) {
+        replicas_[tls_island]->writeNext(net, value);
+        return;
+    }
+    for (auto &replica : replicas_)
+        replica->writeNext(net, value);
+    if (!static_island_flop_[net])
+        markMainFlop(net);
+}
+
+Bits
+ParSimulationTool::readArray(const MemArray &array, uint64_t index) const
+{
+    int owner = plan_.ownerOf[elab_->arrayToken(array.arrayId())];
+    return replicas_[owner >= 0 ? owner : 0]->arrayRead(array.arrayId(),
+                                                        index);
+}
+
+void
+ParSimulationTool::writeArray(MemArray &array, uint64_t index,
+                              const Bits &value)
+{
+    int owner = plan_.ownerOf[elab_->arrayToken(array.arrayId())];
+    replicas_[owner >= 0 ? owner : 0]->arrayWrite(array.arrayId(), index,
+                                                  value);
+    dirty_ = true;
+}
+
+// ---------------------------------------------------------- factory
+
+std::unique_ptr<Simulator>
+makeSimulator(std::shared_ptr<Elaboration> elab, SimConfig cfg)
+{
+    if (cfg.threads <= 1)
+        return std::make_unique<SimulationTool>(std::move(elab), cfg);
+    return std::make_unique<ParSimulationTool>(std::move(elab), cfg);
+}
+
+} // namespace cmtl

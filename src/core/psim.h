@@ -1,0 +1,214 @@
+/**
+ * @file
+ * ParSim: the bulk-synchronous parallel simulation kernel.
+ *
+ * ParSimulationTool runs a statically partitioned design (partition.h)
+ * on a persistent pool of worker threads, one per island, coordinated
+ * by the calling thread. Each island owns a full-size *replica* of the
+ * dense word arena: because the ArenaStore layout is a pure function of
+ * the Elaboration, every replica has identical offsets, so bytecode and
+ * compiled-C++ programs run unchanged on any replica's data pointer.
+ * Islands write only tokens they own and read everything from their
+ * local replica; owners push boundary values into reader replicas at
+ * phase ends, so all sharing is one-way word copies separated by
+ * barriers.
+ *
+ * Cycle protocol (each parallel phase is fenced by a start and a done
+ * barrier over all participants):
+ *
+ *   settle  - skipped when no external write is pending, like the
+ *             sequential kernel. Runs the islands' levelized comb
+ *             schedules as nlevels supersteps: superstep L executes
+ *             every comb block whose longest cross-island dependency
+ *             chain has length L, pushes the values written to
+ *             cross-island readers, and joins a workers-only barrier.
+ *   tick    - islands run their sequential IR blocks against their
+ *             replicas; concurrently the coordinating thread runs every
+ *             tick lambda (TickFl/TickCl) in declaration order, since
+ *             lambda effects are undeclared. Ticks read current values
+ *             and write next values, so the phase needs no internal
+ *             synchronization.
+ *   flop    - each island copies next->current for its owned flopped
+ *             nets, then pushes post-flop values (and values written
+ *             blockingly at tick time) to reader replicas; the
+ *             coordinating thread flops nets registered dynamically by
+ *             lambda writeNext in every replica. All targets are
+ *             disjoint words.
+ *   settle  - as above, always runs.
+ *
+ * Determinism: islands execute their blocks in the global static
+ * schedule restricted to the island, values cross islands only at
+ * barriers, and tick lambdas always run on one thread in declaration
+ * order — so results are bit-identical to SimulationTool at any thread
+ * count. The one pattern outside the guarantee is a design whose tick
+ * blocks communicate through *blocking* writes with a tick lambda
+ * (already tick-order-fragile sequentially); blocking communication
+ * between IR tick blocks is detected and the blocks are co-located.
+ *
+ * Requires ExecMode::OptInterp and a statically schedulable design
+ * (no combinational cycles); composes with SpecMode::None, ::Bytecode
+ * and ::Cpp.
+ */
+
+#ifndef CMTL_CORE_PSIM_H
+#define CMTL_CORE_PSIM_H
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "partition.h"
+#include "sim.h"
+
+namespace cmtl {
+
+/**
+ * Sense-reversing spin barrier (with yield fallback). Worker counts
+ * are small (one per island), so spinning through the short exchange
+ * windows is cheaper than parking on a futex every superstep.
+ */
+class SpinBarrier
+{
+  public:
+    explicit SpinBarrier(int nthreads) : nthreads_(nthreads) {}
+
+    void
+    arriveAndWait()
+    {
+        uint64_t phase = phase_.load(std::memory_order_acquire);
+        if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            nthreads_) {
+            arrived_.store(0, std::memory_order_relaxed);
+            phase_.fetch_add(1, std::memory_order_acq_rel);
+        } else {
+            int spins = 0;
+            while (phase_.load(std::memory_order_acquire) == phase) {
+                if (++spins > 4096)
+                    std::this_thread::yield();
+            }
+        }
+    }
+
+  private:
+    std::atomic<int> arrived_{0};
+    std::atomic<uint64_t> phase_{0};
+    const int nthreads_;
+};
+
+/**
+ * The parallel bulk-synchronous simulator. Drop-in replacement for
+ * SimulationTool behind the Simulator interface; construct directly or
+ * through makeSimulator() with cfg.threads > 1.
+ */
+class ParSimulationTool : public Simulator
+{
+  public:
+    explicit ParSimulationTool(std::shared_ptr<Elaboration> elab,
+                               SimConfig cfg = SimConfig{});
+    ~ParSimulationTool() override;
+
+    using Simulator::cycle;
+    void cycle() override;
+    void eval() override;
+
+    Bits readNet(int net) const override;
+    Bits readArray(const MemArray &array, uint64_t index) const override;
+    void writeArray(MemArray &array, uint64_t index,
+                    const Bits &value) override;
+
+    // --- SignalAccess ----------------------------------------------
+    Bits read(const Signal &sig) const override;
+    void write(Signal &sig, const Bits &value) override;
+    void writeNext(Signal &sig, const Bits &value) override;
+
+    /** The partition this simulator runs (for quality reporting). */
+    const PartitionPlan &plan() const { return plan_; }
+
+  private:
+    enum class Cmd { Settle, Tick, Flop, Exit };
+
+    /** One scheduled unit of an island. */
+    struct PStep
+    {
+        enum class Kind { Slot, Bytecode, Native };
+        Kind kind = Kind::Slot;
+        int block = -1; //!< ElabBlock index (Slot/Bytecode)
+        int group = -1; //!< compiled-C++ group index (Native)
+        int level = 0;  //!< settle superstep (comb steps only)
+    };
+
+    /** Boundary word copy: cur words [off, off+n) into replica dst. */
+    struct CopyOp
+    {
+        int dst;
+        int off;
+        int n;
+    };
+
+    void buildIslandSchedules();
+    void specialize();
+    void startWorkers();
+    void shutdownWorkers();
+    void workerLoop(int island);
+    void runPhase(Cmd cmd);
+    void settlePhase();
+    void runPStep(int island, const PStep &step);
+    void runIslandSettle(int island);
+    void runIslandTick(int island);
+    void runIslandFlop(int island);
+    void pushCur(int island, const CopyOp &op);
+
+    ArenaStore &replicaFor(int net) const;
+    void markMainFlop(int net);
+
+    PartitionPlan plan_;
+    std::vector<std::unique_ptr<ArenaStore>> replicas_;
+    std::vector<std::unique_ptr<SlotEvaluator>> evals_;
+
+    // Per-island schedules (comb steps sorted by superstep level).
+    std::vector<std::vector<PStep>> comb_steps_;
+    std::vector<std::vector<PStep>> tick_steps_;
+    /** comb_pushes_[island][level]: copies at the end of a superstep. */
+    std::vector<std::vector<std::vector<CopyOp>>> comb_pushes_;
+    /** flop_pushes_[island]: copies after the island's flops. */
+    std::vector<std::vector<CopyOp>> flop_pushes_;
+
+    // Specialization (shared read-only across islands; programs use
+    // absolute arena offsets, identical in every replica).
+    std::vector<BcProgram> bc_programs_;
+    std::vector<std::vector<uint64_t>> bc_scratch_; //!< per island
+    CppJitLibrary cpp_lib_;
+    std::vector<char> specialized_;
+
+    // Nets flopped by the coordinating thread (registered dynamically
+    // by lambda writeNext; statically flopped nets belong to islands).
+    std::vector<int> main_flops_;
+    std::vector<char> is_main_flop_;
+    std::vector<char> static_island_flop_;
+
+    // Thread pool and phase coordination.
+    std::vector<std::thread> workers_;
+    SpinBarrier bar_all_;     //!< workers + coordinator
+    SpinBarrier bar_workers_; //!< workers only (settle supersteps)
+    Cmd cmd_ = Cmd::Settle;   //!< written before the start barrier
+    std::atomic<bool> failed_{false};
+    std::exception_ptr worker_error_;
+    std::mutex error_mu_;
+
+    bool dirty_ = true;
+};
+
+/**
+ * Construct the simulator cfg asks for: the sequential SimulationTool
+ * when cfg.threads <= 1, the parallel ParSimulationTool otherwise.
+ */
+std::unique_ptr<Simulator> makeSimulator(std::shared_ptr<Elaboration> elab,
+                                         SimConfig cfg = SimConfig{});
+
+} // namespace cmtl
+
+#endif // CMTL_CORE_PSIM_H

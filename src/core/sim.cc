@@ -7,9 +7,43 @@
 
 namespace cmtl {
 
+// ------------------------------------------------------------- Simulator
+
+void
+Simulator::cycle(uint64_t n)
+{
+    for (uint64_t i = 0; i < n; ++i)
+        cycle();
+}
+
+void
+Simulator::reset(int ncycles)
+{
+    elab_->top->reset.setValue(uint64_t(1));
+    cycle(static_cast<uint64_t>(ncycles));
+    elab_->top->reset.setValue(uint64_t(0));
+}
+
+std::string
+Simulator::lineTrace() const
+{
+    std::string out;
+    for (const Model *m : elab_->models) {
+        std::string part = m->lineTrace();
+        if (part.empty())
+            continue;
+        if (!out.empty())
+            out += " | ";
+        out += part;
+    }
+    return out;
+}
+
+// -------------------------------------------------------- SimulationTool
+
 SimulationTool::SimulationTool(std::shared_ptr<Elaboration> elab,
                                SimConfig cfg)
-    : elab_(std::move(elab)), cfg_(cfg)
+    : Simulator(std::move(elab), cfg)
 {
     Stopwatch sw;
 
@@ -496,13 +530,6 @@ SimulationTool::cycle()
 }
 
 void
-SimulationTool::cycle(uint64_t n)
-{
-    for (uint64_t i = 0; i < n; ++i)
-        cycle();
-}
-
-void
 SimulationTool::eval()
 {
     settle();
@@ -518,14 +545,6 @@ SimulationTool::doFlop(std::vector<int> *changed)
             enqueueReaders(net);
         }
     }
-}
-
-void
-SimulationTool::reset(int ncycles)
-{
-    elab_->top->reset.setValue(uint64_t(1));
-    cycle(static_cast<uint64_t>(ncycles));
-    elab_->top->reset.setValue(uint64_t(0));
 }
 
 Bits
@@ -586,21 +605,6 @@ SimulationTool::writeNext(Signal &sig, const Bits &value)
         arena_->writeNext(net, value);
     else
         boxed_->writeNext(net, value);
-}
-
-std::string
-SimulationTool::lineTrace() const
-{
-    std::string out;
-    for (const Model *m : elab_->models) {
-        std::string part = m->lineTrace();
-        if (part.empty())
-            continue;
-        if (!out.empty())
-            out += " | ";
-        out += part;
-    }
-    return out;
 }
 
 } // namespace cmtl

@@ -72,6 +72,11 @@ struct SimConfig
     SchedMode sched = SchedMode::Auto;
     std::string jit_cache_dir; //!< empty = CppJit::defaultCacheDir()
     bool jit_cache = true;     //!< reuse compiled libraries on disk
+    /**
+     * Host threads for the ParSim bulk-synchronous kernel (psim.h).
+     * 1 = the sequential kernel below; makeSimulator() dispatches.
+     */
+    int threads = 1;
 };
 
 /** Construction-time specializer overheads (paper Figure 16). */
@@ -88,26 +93,29 @@ struct SpecStats
 };
 
 /**
- * A simulator for an elaborated design.
+ * Abstract simulator interface (the tool-facing contract).
  *
- * The tool doubles as the SignalAccess backend, so test benches and
- * lambda blocks transparently read and write through the active
- * storage strategy. One simulator may be live per elaboration at a
- * time.
+ * Both execution kernels — the sequential SimulationTool below and the
+ * parallel bulk-synchronous ParSimulationTool (psim.h) — implement
+ * this interface, so waveform dumpers, activity counters and test
+ * benches drive either one interchangeably. A simulator doubles as the
+ * SignalAccess backend: test benches and lambda blocks transparently
+ * read and write through the active storage strategy. One simulator
+ * may be live per elaboration at a time.
  */
-class SimulationTool : public SignalAccess
+class Simulator : public SignalAccess
 {
   public:
-    explicit SimulationTool(std::shared_ptr<Elaboration> elab,
-                            SimConfig cfg = SimConfig{});
-    ~SimulationTool() override;
+    Simulator(std::shared_ptr<Elaboration> elab, SimConfig cfg)
+        : elab_(std::move(elab)), cfg_(cfg)
+    {}
 
     /** Advance one clock cycle. */
-    void cycle();
+    virtual void cycle() = 0;
     /** Advance @p n clock cycles. */
     void cycle(uint64_t n);
     /** Propagate combinational logic only (no clock edge). */
-    void eval();
+    virtual void eval() = 0;
     /** Assert the implicit reset for @p ncycles cycles. */
     void reset(int ncycles = 1);
 
@@ -127,11 +135,39 @@ class SimulationTool : public SignalAccess
     }
 
     /** Direct net-level value access for tools (VCD, testing). */
-    Bits readNet(int net) const;
+    virtual Bits readNet(int net) const = 0;
 
     /** Host access to a memory array element. */
-    Bits readArray(const MemArray &array, uint64_t index) const;
-    void writeArray(MemArray &array, uint64_t index, const Bits &value);
+    virtual Bits readArray(const MemArray &array, uint64_t index) const = 0;
+    virtual void writeArray(MemArray &array, uint64_t index,
+                            const Bits &value) = 0;
+
+  protected:
+    std::shared_ptr<Elaboration> elab_;
+    SimConfig cfg_;
+    SpecStats spec_stats_;
+    uint64_t ncycles_ = 0;
+    std::vector<std::function<void(uint64_t)>> cycle_hooks_;
+};
+
+/**
+ * The sequential simulator generator (the paper's kernel).
+ */
+class SimulationTool : public Simulator
+{
+  public:
+    explicit SimulationTool(std::shared_ptr<Elaboration> elab,
+                            SimConfig cfg = SimConfig{});
+    ~SimulationTool() override;
+
+    using Simulator::cycle;
+    void cycle() override;
+    void eval() override;
+
+    Bits readNet(int net) const override;
+    Bits readArray(const MemArray &array, uint64_t index) const override;
+    void writeArray(MemArray &array, uint64_t index,
+                    const Bits &value) override;
 
     // --- SignalAccess ----------------------------------------------
     Bits read(const Signal &sig) const override;
@@ -182,10 +218,6 @@ class SimulationTool : public SignalAccess
     void markFlopped(int net);
     void doFlop(std::vector<int> *changed);
 
-    std::shared_ptr<Elaboration> elab_;
-    SimConfig cfg_;
-    SpecStats spec_stats_;
-
     std::unique_ptr<BoxedStore> boxed_;
     std::unique_ptr<ArenaStore> arena_;
     std::unique_ptr<BoxedEvaluator> boxed_eval_;
@@ -215,8 +247,6 @@ class SimulationTool : public SignalAccess
     std::vector<char> in_worklist_;
 
     bool dirty_ = true;
-    uint64_t ncycles_ = 0;
-    std::vector<std::function<void(uint64_t)>> cycle_hooks_;
 };
 
 } // namespace cmtl

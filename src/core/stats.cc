@@ -3,7 +3,29 @@
 #include <algorithm>
 #include <sstream>
 
+#include "psim.h"
+
 namespace cmtl {
+
+std::string
+simulatorReport(const Simulator &sim)
+{
+    std::ostringstream os;
+    const SimConfig &cfg = sim.config();
+    os << "simulator: "
+       << (cfg.exec == ExecMode::Interp ? "Interp" : "OptInterp") << " x "
+       << (cfg.spec == SpecMode::None       ? "None"
+           : cfg.spec == SpecMode::Bytecode ? "Bytecode"
+                                            : "Cpp")
+       << ", threads " << cfg.threads << "\n";
+    const SpecStats &spec = sim.specStats();
+    os << "  blocks: " << spec.numBlocks << " total, "
+       << spec.numSpecialized << " specialized in " << spec.numGroups
+       << " group(s)\n";
+    if (const auto *par = dynamic_cast<const ParSimulationTool *>(&sim))
+        os << partitionReport(sim.elaboration(), par->plan());
+    return os.str();
+}
 
 namespace {
 
@@ -20,7 +42,7 @@ popcountDiff(const Bits &a, const Bits &b)
 
 } // namespace
 
-ActivityTool::ActivityTool(SimulationTool &sim) : sim_(sim)
+ActivityTool::ActivityTool(Simulator &sim) : sim_(sim)
 {
     const size_t nnets = sim_.elaboration().nets.size();
     last_.assign(nnets, Bits());
@@ -103,7 +125,7 @@ ActivityTool::report(size_t n) const
     return os.str();
 }
 
-TextWaveTool::TextWaveTool(SimulationTool &sim,
+TextWaveTool::TextWaveTool(Simulator &sim,
                            std::vector<const Signal *> watch,
                            size_t max_cycles)
     : sim_(sim), watch_(std::move(watch)), samples_(watch_.size()),

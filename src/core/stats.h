@@ -20,12 +20,20 @@
 
 namespace cmtl {
 
+/**
+ * One-stop simulator summary for tools and benches: execution
+ * configuration, specialization statistics, and — when the simulator
+ * is the parallel ParSim kernel — the partition-quality report
+ * (islands, weights, cut size, settle depth).
+ */
+std::string simulatorReport(const Simulator &sim);
+
 /** Counts per-net toggles over a simulation window. */
 class ActivityTool
 {
   public:
     /** Attach to @p sim; sampling starts immediately. */
-    explicit ActivityTool(SimulationTool &sim);
+    explicit ActivityTool(Simulator &sim);
 
     /** Zero all counters (e.g. after warmup). */
     void reset();
@@ -49,7 +57,7 @@ class ActivityTool
   private:
     void sample(uint64_t cycle);
 
-    SimulationTool &sim_;
+    Simulator &sim_;
     std::vector<Bits> last_;
     std::vector<uint64_t> toggles_;
     uint64_t cycles_ = 0;
@@ -63,14 +71,14 @@ class ActivityTool
 class TextWaveTool
 {
   public:
-    TextWaveTool(SimulationTool &sim, std::vector<const Signal *> watch,
+    TextWaveTool(Simulator &sim, std::vector<const Signal *> watch,
                  size_t max_cycles = 64);
 
     /** Render the collected window. */
     std::string render() const;
 
   private:
-    SimulationTool &sim_;
+    Simulator &sim_;
     std::vector<const Signal *> watch_;
     std::vector<std::vector<Bits>> samples_; //!< per signal, per cycle
     size_t max_cycles_;

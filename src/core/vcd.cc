@@ -4,7 +4,7 @@
 
 namespace cmtl {
 
-VcdWriter::VcdWriter(SimulationTool &sim, const std::string &path)
+VcdWriter::VcdWriter(Simulator &sim, const std::string &path)
     : sim_(sim), out_(path)
 {
     if (!out_)

@@ -2,7 +2,7 @@
  * @file
  * VCD waveform dumping tool.
  *
- * Attaches to a SimulationTool and writes a Value Change Dump of every
+ * Attaches to a simulator (sequential or parallel) and writes a Value Change Dump of every
  * net after each simulated cycle, organized by the model hierarchy.
  * Like every CMTL tool it consumes the elaborated model instance —
  * models know nothing about waveforms.
@@ -28,7 +28,7 @@ class VcdWriter
      * Open @p path and register a per-cycle dump hook on @p sim.
      * The writer must outlive the simulation.
      */
-    VcdWriter(SimulationTool &sim, const std::string &path);
+    VcdWriter(Simulator &sim, const std::string &path);
 
     /** Flush and finalize the file. */
     void close();
@@ -41,7 +41,7 @@ class VcdWriter
     void dump(uint64_t cycle);
     static std::string idCode(int index);
 
-    SimulationTool &sim_;
+    Simulator &sim_;
     std::ofstream out_;
     std::vector<Bits> last_;
     bool first_ = true;
