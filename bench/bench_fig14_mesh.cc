@@ -114,6 +114,18 @@ main(int argc, char **argv)
             json.endObject();
         }
         json.endArray();
+        // One SimScope'd short run per level (interp config): phase
+        // split, hot blocks and val/rdy channel stats for this design.
+        json.key("metrics").rawValue(profileSnapshot(
+            [&] {
+                static std::unique_ptr<MeshTrafficTop> top;
+                top = std::make_unique<MeshTrafficTop>(
+                    "top", level, kNodes, kEntries, kInjection, 1);
+                return std::unique_ptr<Simulator>(
+                    std::make_unique<SimulationTool>(
+                        top->elaborate(), paperModes().front().cfg));
+            },
+            96));
         json.endObject();
 
         const RateResult &interp = results.front().second;

@@ -127,28 +127,37 @@ main(int argc, char **argv)
             double speedup =
                 base_rate > 0 ? r.cycles_per_second / base_rate : 0.0;
 
-            // Partition shape at this thread count (threads=1 is the
-            // sequential kernel: no partition).
+            // Partition shape and per-phase breakdown at this thread
+            // count (threads=1 is the sequential kernel: one island,
+            // no barriers). The probe run is short and SimScope'd:
+            // island compute vs barrier-wait vs boundary traffic.
             int nislands = 1, nlevels = 1, cut = 0;
             double imbalance = 1.0;
-            if (threads > 1) {
-                std::unique_ptr<Simulator> probe =
-                    sc.make(sc.spec, threads);
-                auto *par =
-                    dynamic_cast<ParSimulationTool *>(probe.get());
-                if (par) {
-                    nislands = par->plan().nislands;
-                    nlevels = par->plan().nlevels;
-                    cut = par->plan().cutTokens;
-                    imbalance = par->plan().imbalance();
-                    if (threads == thread_counts[1])
-                        std::printf("%s",
-                                    simulatorReport(*par).c_str());
-                }
+            std::unique_ptr<Simulator> probe =
+                sc.make(sc.spec, threads);
+            if (auto *par =
+                    dynamic_cast<ParSimulationTool *>(probe.get())) {
+                nislands = par->plan().nislands;
+                nlevels = par->plan().nlevels;
+                cut = par->plan().cutTokens;
+                imbalance = par->plan().imbalance();
+                if (threads == thread_counts[1])
+                    std::printf("%s", simulatorReport(*par).c_str());
             }
+            SimScope scope(*probe);
+            probe->cycle(192);
+            SimScope::PhaseBreakdown pb = scope.phaseBreakdown();
+            std::string metrics = scope.jsonSnapshot();
+            scope.detach();
 
             std::printf("%8d %14.0f %9.2fx %10d\n", threads,
                         r.cycles_per_second, speedup, nislands);
+            std::printf(
+                "         phase: compute %.4fs  barrier %.4fs  "
+                "boundary %llu B (192 cycles)\n",
+                pb.settle_seconds + pb.tick_seconds + pb.flop_seconds,
+                pb.barrier_seconds,
+                static_cast<unsigned long long>(pb.boundary_bytes));
 
             json.beginObject();
             json.field("threads", threads);
@@ -160,6 +169,7 @@ main(int argc, char **argv)
             json.field("settle_supersteps", nlevels);
             json.field("cut_tokens", cut);
             json.field("imbalance", imbalance);
+            json.key("metrics").rawValue(metrics);
             json.endObject();
         }
         json.endArray();

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "core/scope.h"
 #include "core/sim.h"
 #include "core/timing.h"
 
@@ -107,6 +108,24 @@ measureRate(const std::function<std::unique_ptr<Simulator>()> &make,
     out.measured_cycles = cycles;
     out.cycles_per_second = static_cast<double>(cycles) / timer.elapsed();
     return out;
+}
+
+/**
+ * Run a short profiled simulation and return the SimScope JSON
+ * snapshot (phases, hot blocks, traced val/rdy channels, metrics) for
+ * a BENCH_*.json "metrics" section.
+ */
+inline std::string
+profileSnapshot(const std::function<std::unique_ptr<Simulator>()> &make,
+                uint64_t cycles = 192)
+{
+    std::unique_ptr<Simulator> sim = make();
+    SimScope scope(*sim);
+    scope.traceAllValRdy();
+    sim->cycle(cycles);
+    std::string json = scope.jsonSnapshot();
+    scope.detach();
+    return json;
 }
 
 /** Derived total wall time for simulating @p n target cycles. */
@@ -252,6 +271,15 @@ class JsonWriter
     {
         key(k);
         return value(v);
+    }
+
+    /** Embed pre-serialized JSON (e.g. a SimScope snapshot) verbatim. */
+    JsonWriter &
+    rawValue(const std::string &json)
+    {
+        sep();
+        raw(json.c_str());
+        return *this;
     }
 
   private:

@@ -10,12 +10,19 @@
  * simulation: FL tiles finish in few (but inaccurate) cycles, RTL
  * tiles take realistically many, all in one simulation.
  *
- * Usage: heterogeneous_system [n]
+ * Usage: heterogeneous_system [n] [--profile[=json]]
+ *
+ * With --profile the whole run is SimScope-instrumented and ends with
+ * the hot-block ranking and val/rdy channel stats; --profile=json
+ * emits the machine-readable snapshot as the last line instead.
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <memory>
 
+#include "core/scope.h"
 #include "core/sim.h"
 #include "tile/multitile.h"
 
@@ -25,7 +32,16 @@ using namespace cmtl::tile;
 int
 main(int argc, char **argv)
 {
-    const int n = argc >= 2 ? std::atoi(argv[1]) : 8;
+    int n = 8;
+    bool profile = false, profile_json = false;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--profile"))
+            profile = true;
+        else if (!std::strcmp(argv[i], "--profile=json"))
+            profile = profile_json = true;
+        else if (std::atoi(argv[i]) > 0)
+            n = std::atoi(argv[i]);
+    }
 
     std::vector<std::array<Level, 3>> levels = {
         {Level::FL, Level::FL, Level::FL},
@@ -39,6 +55,11 @@ main(int argc, char **argv)
 
     auto elab = sys.elaborate();
     SimulationTool sim(elab);
+    std::unique_ptr<SimScope> scope;
+    if (profile) {
+        scope = std::make_unique<SimScope>(sim);
+        scope->traceAllValRdy();
+    }
     sim.reset();
 
     std::printf("3 heterogeneous tiles, %dx%d mvmult each, shared "
@@ -76,5 +97,12 @@ main(int argc, char **argv)
                 "network\n",
                 static_cast<unsigned long long>(
                     sys.memNode().numRequests()));
+    if (scope) {
+        if (profile_json)
+            std::printf("\n%s\n", scope->jsonSnapshot().c_str());
+        else
+            std::printf("\n%s", scope->report().c_str());
+        scope->detach();
+    }
     return 0;
 }

@@ -5,9 +5,11 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <functional>
 #include <sstream>
@@ -31,12 +33,22 @@ fileExists(const std::string &path)
     return ::stat(path.c_str(), &st) == 0;
 }
 
-/** FNV-1a over the source text; good enough for a build cache key. */
+/**
+ * Cache format version. Bump whenever the key scheme or the on-disk
+ * layout changes: the version is part of the file name, so entries
+ * written under an older scheme stop matching without any cleanup.
+ */
+constexpr const char *kCacheFormatVersion = "v2";
+
+/** Base flags; the paper's "relatively fast -O1 optimization level". */
+constexpr const char *kBaseFlags = "-O1 -shared -fPIC";
+
+/** FNV-1a; good enough for a build cache key. */
 std::string
-sourceHash(const std::string &source)
+fnvHash(const std::string &text)
 {
     uint64_t h = 1469598103934665603ull;
-    for (unsigned char c : source) {
+    for (unsigned char c : text) {
         h ^= c;
         h *= 1099511628211ull;
     }
@@ -49,6 +61,44 @@ int
 runCommand(const std::string &cmd)
 {
     return std::system(cmd.c_str());
+}
+
+/** Single-quote @p path for POSIX sh ('\'' escapes embedded quotes). */
+std::string
+shellQuote(const std::string &path)
+{
+    std::string out = "'";
+    for (char c : path) {
+        if (c == '\'')
+            out += "'\\''";
+        else
+            out += c;
+    }
+    out += "'";
+    return out;
+}
+
+/** mkdir -p: create @p path and all missing parents. */
+bool
+makeDirs(const std::string &path)
+{
+    if (path.empty())
+        return false;
+    std::string partial;
+    size_t pos = 0;
+    while (pos < path.size()) {
+        size_t next = path.find('/', pos);
+        if (next == std::string::npos)
+            next = path.size();
+        partial = path.substr(0, next);
+        if (!partial.empty() && ::mkdir(partial.c_str(), 0755) != 0 &&
+            errno != EEXIST) {
+            return false;
+        }
+        pos = next + 1;
+    }
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
 }
 
 } // namespace
@@ -83,10 +133,19 @@ CppJitLibrary::operator=(CppJitLibrary &&other) noexcept
     return *this;
 }
 
-CppJit::CppJit(std::string cache_dir, bool use_cache)
-    : cache_dir_(std::move(cache_dir)), use_cache_(use_cache)
+CppJit::CppJit(std::string cache_dir, bool use_cache,
+               std::string extra_flags)
+    : cache_dir_(std::move(cache_dir)), use_cache_(use_cache),
+      extra_flags_(std::move(extra_flags))
 {
-    ::mkdir(cache_dir_.c_str(), 0755);
+    // CMTL_JIT_CACHE may name a nested path; create all parents and
+    // fail loudly (with errno context) instead of letting every later
+    // compile die on an unwritable scratch file.
+    if (!makeDirs(cache_dir_)) {
+        throw std::runtime_error("SimJIT: cannot create cache dir '" +
+                                 cache_dir_ + "': " +
+                                 std::strerror(errno));
+    }
 }
 
 std::string
@@ -106,13 +165,53 @@ CppJit::compilerAvailable()
     return cached == 1;
 }
 
+std::string
+CppJit::compilerVersion()
+{
+    // -dumpfullversion prints the full x.y.z on g++ >= 7 but nothing
+    // on some older releases; -dumpversion backstops it. Queried once.
+    static std::string cached = [] {
+        std::string out;
+        if (FILE *pipe = ::popen(
+                "g++ -dumpfullversion -dumpversion 2>/dev/null", "r")) {
+            char buf[128];
+            while (::fgets(buf, sizeof(buf), pipe))
+                out += buf;
+            ::pclose(pipe);
+        }
+        while (!out.empty() && (out.back() == '\n' || out.back() == ' '))
+            out.pop_back();
+        return out.empty() ? std::string("unknown") : out;
+    }();
+    return cached;
+}
+
+std::string
+CppJit::flagString() const
+{
+    return extra_flags_.empty() ? std::string(kBaseFlags)
+                                : std::string(kBaseFlags) + " " +
+                                      extra_flags_;
+}
+
+std::string
+CppJit::cachePathFor(const std::string &source) const
+{
+    // The key covers everything that determines the produced binary:
+    // format version, compiler version, exact flags, source text.
+    std::string key = std::string(kCacheFormatVersion) + "\n" +
+                      compilerVersion() + "\n" + flagString() + "\n" +
+                      source;
+    return cache_dir_ + "/cmtl_" + kCacheFormatVersion + "_" +
+           fnvHash(key) + ".so";
+}
+
 CppJitLibrary
 CppJit::compile(const std::string &source, int ngroups)
 {
     CppJitLibrary lib;
-    std::string hash = sourceHash(source);
-    std::string base = cache_dir_ + "/cmtl_" + hash;
-    std::string so_path = base + ".so";
+    std::string so_path = cachePathFor(source);
+    std::string base = so_path.substr(0, so_path.size() - 3);
 
     double t0 = seconds();
     if (use_cache_ && fileExists(so_path)) {
@@ -136,10 +235,11 @@ CppJit::compile(const std::string &source, int ngroups)
                 throw std::runtime_error("SimJIT: cannot write " + cc_path);
             out << source;
         }
-        // -O1, like the paper's verilator flow ("the relatively fast
-        // -O1 optimization level").
-        std::string cmd = "g++ -O1 -shared -fPIC -o " + tmp_so + " " +
-                          cc_path + " 2> " + log_path;
+        // Quote every interpolated path: the cache dir comes from the
+        // environment and may contain spaces or shell metacharacters.
+        std::string cmd = "g++ " + flagString() + " -o " +
+                          shellQuote(tmp_so) + " " + shellQuote(cc_path) +
+                          " 2> " + shellQuote(log_path);
         if (runCommand(cmd) != 0) {
             throw std::runtime_error(
                 "SimJIT: compiler failed; see " + log_path);

@@ -5,9 +5,17 @@
  * Mirrors PyMTL's SimJIT pipeline: the generated source is compiled
  * with the system C++ compiler into a shared library, loaded with
  * dlopen, and its entry points bound as function pointers. Compiled
- * libraries are cached on disk keyed by a hash of the source text, the
- * analog of SimJIT-RTL's translation cache: a warm cache converts the
- * (dominant) compile overhead into a one-time cost.
+ * libraries are cached on disk, the analog of SimJIT-RTL's translation
+ * cache: a warm cache converts the (dominant) compile overhead into a
+ * one-time cost.
+ *
+ * Cache key: FNV-1a over a cache-format version tag, the compiler
+ * version (g++ -dumpfullversion -dumpversion), the exact flag string
+ * and the source text. Hashing only the source would silently reuse a
+ * stale .so after a toolchain upgrade or a flag change; folding all
+ * four in makes every such change miss cleanly. The format version is
+ * also part of the file name (cmtl_v2_<hash>.so), so entries written
+ * under an older scheme are never consulted again.
  */
 
 #ifndef CMTL_CORE_JIT_CPP_H
@@ -54,18 +62,31 @@ class CppJit
   public:
     /**
      * @param cache_dir directory for generated sources and cached .so
-     *                  files; created if missing
+     *                  files; created (with parents) if missing.
+     *                  Throws std::runtime_error when it cannot be
+     *                  created.
      * @param use_cache reuse a previously compiled library when the
-     *                  source hash matches
+     *                  cache key matches
+     * @param extra_flags appended to the base compile flags; part of
+     *                  the cache key
      */
     explicit CppJit(std::string cache_dir = defaultCacheDir(),
-                    bool use_cache = true);
+                    bool use_cache = true, std::string extra_flags = "");
 
     /** True if a working C++ compiler is available on this host. */
     static bool compilerAvailable();
 
     /** Directory honouring $CMTL_JIT_CACHE, else /tmp/cmtl-jit-<uid>. */
     static std::string defaultCacheDir();
+
+    /** Compiler version string folded into the cache key. */
+    static std::string compilerVersion();
+
+    /** The full flag string used for compiles (base + extra). */
+    std::string flagString() const;
+
+    /** Cache file this source would hit (for tests/diagnostics). */
+    std::string cachePathFor(const std::string &source) const;
 
     /**
      * Compile @p source (with @p ngroups cmtl_grp_<k> entry points)
@@ -77,6 +98,7 @@ class CppJit
   private:
     std::string cache_dir_;
     bool use_cache_;
+    std::string extra_flags_;
 };
 
 } // namespace cmtl

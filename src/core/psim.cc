@@ -275,11 +275,26 @@ void
 ParSimulationTool::workerLoop(int island)
 {
     tls_island = island;
+    // Done-barrier wait of the previous phase, banked locally: the
+    // probe must never be touched after the done barrier (the
+    // coordinator may detach/destroy it once cycle() returns), so the
+    // sample is flushed here, after the next start barrier, when the
+    // coordinator is provably inside a phase.
+    double pending_bar = 0.0;
     for (;;) {
         bar_all_.arriveAndWait(); // start: cmd_ published by coordinator
         Cmd cmd = cmd_;
         if (cmd == Cmd::Exit)
             return;
+        // probe_ is only swapped while workers are parked at the start
+        // barrier, so one read per iteration is stable.
+        ScopeProbe *p = probe_;
+        if (p)
+            p->island_barrier_seconds[island] += pending_bar;
+        pending_bar = 0.0;
+        double bar_before =
+            p ? p->island_barrier_seconds[island] : 0.0;
+        Stopwatch sw;
         try {
             switch (cmd) {
               case Cmd::Settle:
@@ -300,7 +315,31 @@ ParSimulationTool::workerLoop(int island)
                 worker_error_ = std::current_exception();
             failed_.store(true, std::memory_order_release);
         }
-        bar_all_.arriveAndWait(); // done
+        if (p) {
+            // Superstep barrier waits accumulated inside the phase are
+            // barrier time, not compute time.
+            double bar_during =
+                p->island_barrier_seconds[island] - bar_before;
+            double compute = sw.elapsed() - bar_during;
+            switch (cmd) {
+              case Cmd::Settle:
+                p->island_settle_seconds[island] += compute;
+                break;
+              case Cmd::Tick:
+                p->island_tick_seconds[island] += compute;
+                break;
+              case Cmd::Flop:
+                p->island_flop_seconds[island] += compute;
+                break;
+              case Cmd::Exit:
+                break;
+            }
+            Stopwatch swb;
+            bar_all_.arriveAndWait(); // done
+            pending_bar = swb.elapsed();
+        } else {
+            bar_all_.arriveAndWait(); // done
+        }
     }
 }
 
@@ -312,8 +351,15 @@ ParSimulationTool::runPhase(Cmd cmd)
     if (cmd == Cmd::Tick) {
         // Tick lambdas (undeclared effects) always run here, in
         // declaration order: sequential semantics by construction.
-        for (int b : plan_.lambdaTicks)
-            elab_->blocks[b].fn();
+        for (int b : plan_.lambdaTicks) {
+            if (probe_ && probe_->shouldTime(b)) {
+                Stopwatch sw;
+                elab_->blocks[b].fn();
+                probe_->addBlockTime(b, sw.elapsed());
+            } else {
+                elab_->blocks[b].fn();
+            }
+        }
     } else if (cmd == Cmd::Flop) {
         // Dynamically registered flops were written into every
         // replica's next region at writeNext time; flopping each
@@ -339,6 +385,23 @@ ParSimulationTool::runPhase(Cmd cmd)
 void
 ParSimulationTool::runPStep(int island, const PStep &step)
 {
+    // Per-block counters are written only by the executing island's
+    // worker (each block belongs to exactly one island), so the probe
+    // needs no synchronization here.
+    if (ScopeProbe *p = probe_) {
+        if (p->shouldTime(step.block)) {
+            Stopwatch sw;
+            runPStepImpl(island, step);
+            p->addBlockTime(step.block, sw.elapsed());
+            return;
+        }
+    }
+    runPStepImpl(island, step);
+}
+
+void
+ParSimulationTool::runPStepImpl(int island, const PStep &step)
+{
     switch (step.kind) {
       case PStep::Kind::Slot:
         evals_[island]->run(elab_->blocks[step.block], nullptr);
@@ -359,6 +422,10 @@ ParSimulationTool::pushCur(int island, const CopyOp &op)
     const uint64_t *src = replicas_[island]->data() + op.off;
     uint64_t *dst = replicas_[op.dst]->data() + op.off;
     std::memcpy(dst, src, static_cast<size_t>(op.n) * sizeof(uint64_t));
+    if (ScopeProbe *p = probe_) {
+        p->island_boundary_bytes[island] +=
+            static_cast<uint64_t>(op.n) * sizeof(uint64_t);
+    }
 }
 
 void
@@ -373,8 +440,15 @@ ParSimulationTool::runIslandSettle(int island)
             pushCur(island, op);
         // Cross-island readers of this superstep's values run at a
         // later level, after this barrier publishes the pushes.
-        if (lvl + 1 < plan_.nlevels)
-            bar_workers_.arriveAndWait();
+        if (lvl + 1 < plan_.nlevels) {
+            if (ScopeProbe *p = probe_) {
+                Stopwatch sw;
+                bar_workers_.arriveAndWait();
+                p->island_barrier_seconds[island] += sw.elapsed();
+            } else {
+                bar_workers_.arriveAndWait();
+            }
+        }
     }
 }
 

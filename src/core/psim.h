@@ -157,6 +157,7 @@ class ParSimulationTool : public Simulator
     void runPhase(Cmd cmd);
     void settlePhase();
     void runPStep(int island, const PStep &step);
+    void runPStepImpl(int island, const PStep &step);
     void runIslandSettle(int island);
     void runIslandTick(int island);
     void runIslandFlop(int island);

@@ -446,6 +446,20 @@ SimulationTool::diffWrites(const Step &step, std::vector<int> *changed)
 void
 SimulationTool::runStep(const Step &step, std::vector<int> *changed)
 {
+    if (ScopeProbe *p = probe_) {
+        if (p->shouldTime(step.block)) {
+            Stopwatch sw;
+            runStepImpl(step, changed);
+            p->addBlockTime(step.block, sw.elapsed());
+            return;
+        }
+    }
+    runStepImpl(step, changed);
+}
+
+void
+SimulationTool::runStepImpl(const Step &step, std::vector<int> *changed)
+{
     const bool hybrid = useBoxed() && arena_ != nullptr;
     switch (step.kind) {
       case Step::Kind::Lambda:
@@ -513,25 +527,63 @@ SimulationTool::settle()
 void
 SimulationTool::cycle()
 {
-    if (eventDriven() || dirty_)
+    if (probe_) {
+        cycleProfiled();
+    } else {
+        if (eventDriven() || dirty_)
+            settle();
+        for (const Step &step : tick_steps_)
+            runStep(step, nullptr);
+        std::vector<int> changed;
+        doFlop(eventDriven() ? &changed : nullptr);
+        if (eventDriven()) {
+            for (int token : tick_array_tokens_)
+                enqueueReaders(token);
+        }
         settle();
-    for (const Step &step : tick_steps_)
-        runStep(step, nullptr);
-    std::vector<int> changed;
-    doFlop(eventDriven() ? &changed : nullptr);
-    if (eventDriven()) {
-        for (int token : tick_array_tokens_)
-            enqueueReaders(token);
     }
-    settle();
     ++ncycles_;
     for (const auto &hook : cycle_hooks_)
         hook(ncycles_);
 }
 
 void
+SimulationTool::cycleProfiled()
+{
+    ScopeProbe *p = probe_;
+    Stopwatch sw;
+    if (eventDriven() || dirty_)
+        settle();
+    p->settle_seconds += sw.elapsed();
+
+    sw.restart();
+    for (const Step &step : tick_steps_)
+        runStep(step, nullptr);
+    p->tick_seconds += sw.elapsed();
+
+    sw.restart();
+    std::vector<int> changed;
+    doFlop(eventDriven() ? &changed : nullptr);
+    if (eventDriven()) {
+        for (int token : tick_array_tokens_)
+            enqueueReaders(token);
+    }
+    p->flop_seconds += sw.elapsed();
+
+    sw.restart();
+    settle();
+    p->settle_seconds += sw.elapsed();
+}
+
+void
 SimulationTool::eval()
 {
+    if (ScopeProbe *p = probe_) {
+        Stopwatch sw;
+        settle();
+        p->settle_seconds += sw.elapsed();
+        return;
+    }
     settle();
 }
 

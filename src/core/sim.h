@@ -79,6 +79,66 @@ struct SimConfig
     int threads = 1;
 };
 
+/**
+ * Instrumentation sink filled by the execution kernels while a
+ * SimScope (scope.h) is attached. The kernels test one pointer per
+ * phase / per step when detached, so the disabled-path cost is a
+ * handful of predictable branches per cycle.
+ *
+ * Threading: per-block entries are written only by the thread that
+ * executes the block (each block belongs to exactly one island), and
+ * per-island entries only by that island's worker; the coordinator
+ * reads them between phases, ordered by the phase barriers.
+ */
+struct ScopeProbe
+{
+    /** Exact = time every block execution; sampled = time one out of
+     *  sample_period executions and scale. */
+    bool exact = true;
+    uint32_t sample_period = 64;
+
+    // Per-block self time, indexed by ElabBlock id. Fused
+    // specialization groups attribute to the group's first block.
+    std::vector<double> block_seconds;
+    std::vector<uint64_t> block_calls;
+    std::vector<uint32_t> until_sample;
+
+    // Sequential-kernel phase totals.
+    double settle_seconds = 0.0;
+    double tick_seconds = 0.0;
+    double flop_seconds = 0.0;
+
+    // ParSim per-island phase breakdown (empty on the sequential
+    // kernel). Barrier seconds cover superstep and phase-done waits;
+    // boundary bytes count words pushed into other replicas.
+    std::vector<double> island_settle_seconds;
+    std::vector<double> island_tick_seconds;
+    std::vector<double> island_flop_seconds;
+    std::vector<double> island_barrier_seconds;
+    std::vector<uint64_t> island_boundary_bytes;
+
+    /** Count a block call; true when this execution should be timed. */
+    bool
+    shouldTime(int block)
+    {
+        ++block_calls[block];
+        if (exact)
+            return true;
+        if (--until_sample[block] == 0) {
+            until_sample[block] = sample_period;
+            return true;
+        }
+        return false;
+    }
+
+    /** Record a timed execution (scaled under sampled timing). */
+    void
+    addBlockTime(int block, double seconds)
+    {
+        block_seconds[block] += exact ? seconds : seconds * sample_period;
+    }
+};
+
 /** Construction-time specializer overheads (paper Figure 16). */
 struct SpecStats
 {
@@ -134,6 +194,15 @@ class Simulator : public SignalAccess
         cycle_hooks_.push_back(std::move(hook));
     }
 
+    /**
+     * Attach a SimScope instrumentation sink (nullptr detaches). The
+     * probe's vectors must already be sized for this elaboration; at
+     * most one probe is active at a time (last attach wins). Owned by
+     * the SimScope tool — call only between cycles.
+     */
+    void attachScope(ScopeProbe *probe) { probe_ = probe; }
+    ScopeProbe *scopeProbe() const { return probe_; }
+
     /** Direct net-level value access for tools (VCD, testing). */
     virtual Bits readNet(int net) const = 0;
 
@@ -148,6 +217,7 @@ class Simulator : public SignalAccess
     SpecStats spec_stats_;
     uint64_t ncycles_ = 0;
     std::vector<std::function<void(uint64_t)>> cycle_hooks_;
+    ScopeProbe *probe_ = nullptr;
 };
 
 /**
@@ -193,6 +263,8 @@ class SimulationTool : public Simulator
     void buildSchedule();
     void specialize();
     void runStep(const Step &step, std::vector<int> *changed);
+    void runStepImpl(const Step &step, std::vector<int> *changed);
+    void cycleProfiled();
     void syncIn(const Step &step);
     void syncOut(const Step &step, std::vector<int> *changed);
     void snapshotWrites(const Step &step);

@@ -1,6 +1,7 @@
 #include "stats.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <sstream>
 
 #include "psim.h"
@@ -24,6 +25,36 @@ simulatorReport(const Simulator &sim)
        << " group(s)\n";
     if (const auto *par = dynamic_cast<const ParSimulationTool *>(&sim))
         os << partitionReport(sim.elaboration(), par->plan());
+    if (const ScopeProbe *p = sim.scopeProbe()) {
+        char buf[160];
+        if (!p->island_settle_seconds.empty()) {
+            for (size_t i = 0; i < p->island_settle_seconds.size();
+                 ++i) {
+                std::snprintf(
+                    buf, sizeof(buf),
+                    "  scope island %zu: compute %.4fs (settle %.4f "
+                    "tick %.4f flop %.4f)  barrier %.4fs  boundary "
+                    "%llu B\n",
+                    i,
+                    p->island_settle_seconds[i] +
+                        p->island_tick_seconds[i] +
+                        p->island_flop_seconds[i],
+                    p->island_settle_seconds[i],
+                    p->island_tick_seconds[i], p->island_flop_seconds[i],
+                    p->island_barrier_seconds[i],
+                    static_cast<unsigned long long>(
+                        p->island_boundary_bytes[i]));
+                os << buf;
+            }
+        } else {
+            std::snprintf(buf, sizeof(buf),
+                          "  scope phases: settle %.4fs  tick %.4fs  "
+                          "flop %.4fs\n",
+                          p->settle_seconds, p->tick_seconds,
+                          p->flop_seconds);
+            os << buf;
+        }
+    }
     return os.str();
 }
 

@@ -1,5 +1,6 @@
 #include "vcd.h"
 
+#include <sstream>
 #include <stdexcept>
 
 namespace cmtl {
@@ -11,6 +12,7 @@ VcdWriter::VcdWriter(Simulator &sim, const std::string &path)
         throw std::runtime_error("VcdWriter: cannot open " + path);
     writeHeader();
     last_.assign(sim_.elaboration().nets.size(), Bits());
+    dumpInitial();
     sim_.onCycleEnd([this](uint64_t cycle) { dump(cycle); });
 }
 
@@ -65,24 +67,49 @@ VcdWriter::writeScope(const Model *model, int depth)
 }
 
 void
+VcdWriter::emitValue(std::ostream &os, const Net &net, const Bits &value)
+{
+    if (net.nbits == 1) {
+        os << (value.any() ? "1" : "0") << idCode(net.id) << "\n";
+    } else {
+        // Binary value without the "0b" prefix.
+        os << "b" << value.toBinString().substr(2) << " " << idCode(net.id)
+           << "\n";
+    }
+}
+
+void
+VcdWriter::dumpInitial()
+{
+    // The VCD spec wants an initial-value section at time zero so
+    // viewers know every variable's value before the first change.
+    out_ << "#0\n$dumpvars\n";
+    for (const Net &net : sim_.elaboration().nets) {
+        Bits value = sim_.readNet(net.id);
+        last_[net.id] = value;
+        emitValue(out_, net, value);
+    }
+    out_ << "$end\n";
+}
+
+void
 VcdWriter::dump(uint64_t cycle)
 {
     const Elaboration &elab = sim_.elaboration();
-    out_ << "#" << cycle * 10 << "\n";
+    // Buffer the changes: a timestamp with no value changes under it
+    // is noise (and bloats long idle stretches), so emit the #time
+    // line only when at least one net actually changed.
+    std::ostringstream changes;
     for (const Net &net : elab.nets) {
         Bits value = sim_.readNet(net.id);
-        if (!first_ && value == last_[net.id])
+        if (value == last_[net.id])
             continue;
         last_[net.id] = value;
-        if (net.nbits == 1) {
-            out_ << (value.any() ? "1" : "0") << idCode(net.id) << "\n";
-        } else {
-            // Binary value without the "0b" prefix.
-            out_ << "b" << value.toBinString().substr(2) << " "
-                 << idCode(net.id) << "\n";
-        }
+        emitValue(changes, net, value);
     }
-    first_ = false;
+    std::string body = changes.str();
+    if (!body.empty())
+        out_ << "#" << cycle * 10 << "\n" << body;
 }
 
 } // namespace cmtl

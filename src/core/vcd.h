@@ -38,13 +38,15 @@ class VcdWriter
   private:
     void writeHeader();
     void writeScope(const Model *model, int depth);
+    void dumpInitial();
     void dump(uint64_t cycle);
+    static void emitValue(std::ostream &os, const Net &net,
+                          const Bits &value);
     static std::string idCode(int index);
 
     Simulator &sim_;
     std::ofstream out_;
     std::vector<Bits> last_;
-    bool first_ = true;
     bool closed_ = false;
 };
 

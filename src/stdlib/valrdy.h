@@ -15,6 +15,7 @@
 #include <string>
 
 #include "core/model.h"
+#include "core/scope.h"
 
 namespace cmtl {
 
@@ -82,6 +83,20 @@ connectValRdy(Model &scope, OutValRdy &inner, OutValRdy &outer)
     scope.connect(inner.msg, outer.msg);
     scope.connect(inner.val, outer.val);
     scope.connect(inner.rdy, outer.rdy);
+}
+
+/** Trace a receiver bundle's channel in @p scope under @p name. */
+inline void
+traceValRdy(SimScope &scope, const std::string &name, const InValRdy &in)
+{
+    scope.traceValRdy(name, in.msg, in.val, in.rdy);
+}
+
+/** Trace a sender bundle's channel in @p scope under @p name. */
+inline void
+traceValRdy(SimScope &scope, const std::string &name, const OutValRdy &out)
+{
+    scope.traceValRdy(name, out.msg, out.val, out.rdy);
 }
 
 } // namespace cmtl

@@ -244,5 +244,73 @@ TEST(Vcd, OnlyChangedNetsAreRedumped)
     std::remove(path.c_str());
 }
 
+TEST(Vcd, EmitsInitialDumpvarsSection)
+{
+    Counter top(nullptr, "top", 8);
+    auto elab = top.elaborate();
+    SimulationTool sim(elab);
+    std::string path = ::testing::TempDir() + "/cmtl_dumpvars.vcd";
+    {
+        VcdWriter vcd(sim, path);
+        vcd.close();
+    }
+    std::ifstream in(path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string text = buf.str();
+
+    // Spec-mandated initial-value section: #0, $dumpvars, one value
+    // per net, $end — in that order, right after the definitions.
+    size_t defs = text.find("$enddefinitions $end");
+    size_t t0 = text.find("#0\n");
+    size_t dv = text.find("$dumpvars");
+    size_t dv_end = text.find("$end", dv + 1);
+    ASSERT_NE(defs, std::string::npos);
+    ASSERT_NE(t0, std::string::npos);
+    ASSERT_NE(dv, std::string::npos);
+    ASSERT_NE(dv_end, std::string::npos);
+    EXPECT_LT(defs, t0);
+    EXPECT_LT(t0, dv);
+    EXPECT_LT(dv, dv_end);
+    // Every net (en, count, ...) gets an initial value inside it.
+    size_t values = 0;
+    std::stringstream section(text.substr(dv, dv_end - dv));
+    std::string line;
+    while (std::getline(section, line)) {
+        if (!line.empty() &&
+            (line[0] == '0' || line[0] == '1' || line[0] == 'b'))
+            ++values;
+    }
+    EXPECT_GE(values, elab->nets.size());
+    std::remove(path.c_str());
+}
+
+TEST(Vcd, SuppressesChangeFreeTimestamps)
+{
+    Register top(nullptr, "top", 8);
+    auto elab = top.elaborate();
+    SimulationTool sim(elab);
+    std::string path = ::testing::TempDir() + "/cmtl_quiet.vcd";
+    {
+        VcdWriter vcd(sim, path);
+        top.in_.setValue(uint64_t(0x42));
+        sim.cycle(10); // all change settles in cycle 1
+        vcd.close();
+    }
+    std::ifstream in(path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string text = buf.str();
+    // Only #0 (initial dump) and #10 (the one changing cycle) appear;
+    // the eight change-free cycles emit no timestamp at all.
+    EXPECT_NE(text.find("#0\n"), std::string::npos);
+    EXPECT_NE(text.find("#10\n"), std::string::npos);
+    for (int t = 2; t <= 10; ++t) {
+        std::string stamp = "#" + std::to_string(t * 10) + "\n";
+        EXPECT_EQ(text.find(stamp), std::string::npos) << stamp;
+    }
+    std::remove(path.c_str());
+}
+
 } // namespace
 } // namespace cmtl
