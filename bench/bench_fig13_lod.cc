@@ -61,7 +61,8 @@ runTile(Level p, Level c, Level a, const SimConfig &cfg,
 int
 main(int argc, char **argv)
 {
-    bool full = fullScale(argc, argv);
+    SimOptions opts = SimOptions::parse(argc, argv);
+    bool full = opts.full;
     const int n = full ? 64 : 16;
     Workload w = makeMvmultAccel(n);
 
@@ -85,12 +86,9 @@ main(int argc, char **argv)
         iss_time = sw.elapsed() / reps;
     }
 
-    SpecMode spec = CppJit::compilerAvailable() ? SpecMode::Cpp
-                                                : SpecMode::Bytecode;
     SimConfig cpython{ExecMode::Interp, SpecMode::None, SchedMode::Auto,
                       "", true};
-    SimConfig simjit{ExecMode::OptInterp, spec, SchedMode::Auto, "",
-                     true};
+    SimConfig simjit = simjitConfig(opts);
 
     std::printf("Figure 13: simulator performance vs level of detail\n");
     std::printf("workload: %dx%d mvmult on the accelerator tile; "

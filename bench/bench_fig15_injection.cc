@@ -41,7 +41,8 @@ measurePoint(NetLevel level, const SimConfig &cfg, double injection)
 int
 main(int argc, char **argv)
 {
-    bool full = fullScale(argc, argv);
+    SimOptions opts = SimOptions::parse(argc, argv);
+    bool full = opts.full;
     std::vector<double> rates = {0.02, 0.10, 0.20, 0.30, 0.40};
     if (full)
         rates = {0.02, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40};
@@ -61,7 +62,7 @@ main(int argc, char **argv)
         std::printf("\n");
 
         std::vector<double> interp_rate;
-        for (const ModeSpec &mode : paperModes()) {
+        for (const ModeSpec &mode : paperModes(opts)) {
             std::printf("%-14s", mode.name.c_str());
             std::fflush(stdout);
             int i = 0;

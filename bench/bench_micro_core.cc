@@ -142,7 +142,8 @@ BM_EngineCompiledCpp(benchmark::State &state)
         return;
     }
     EngineFixture f;
-    std::string source = cppEmitProgram(*f.elab, f.arena, {{0}});
+    std::string source = cppEmitProgram(
+        *f.elab, f.arena, std::vector<std::vector<int>>{{0}});
     CppJit jit;
     CppJitLibrary lib = jit.compile(source, 1);
     uint64_t i = 0;

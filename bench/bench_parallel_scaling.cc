@@ -32,26 +32,25 @@ using net::MeshTrafficTop;
 using net::NetLevel;
 
 SimConfig
-cfgFor(SpecMode spec, int threads)
+cfgFor(Backend backend, int threads)
 {
     SimConfig cfg;
-    cfg.exec = ExecMode::OptInterp;
-    cfg.spec = spec;
+    cfg.backend = backend;
     cfg.threads = threads;
     return cfg;
 }
 
 std::unique_ptr<Simulator>
-makeMesh(SpecMode spec, int threads)
+makeMesh(Backend backend, int threads)
 {
     static std::unique_ptr<MeshTrafficTop> top;
     top = std::make_unique<MeshTrafficTop>("top", NetLevel::RTL, 64, 4,
                                            0.30, 1);
-    return makeSimulator(top->elaborate(), cfgFor(spec, threads));
+    return makeSimulator(top->elaborate(), cfgFor(backend, threads));
 }
 
 std::unique_ptr<Simulator>
-makeMultiTile(SpecMode spec, int threads)
+makeMultiTile(Backend backend, int threads)
 {
     using namespace tile;
     static std::unique_ptr<MultiTileSystem> sys;
@@ -63,22 +62,31 @@ makeMultiTile(SpecMode spec, int threads)
         /*cl_network=*/true);
     sys->loadProgram(w.image);
     loadMvmultData(sys->memNode(), w);
-    return makeSimulator(sys->elaborate(), cfgFor(spec, threads));
+    return makeSimulator(sys->elaborate(), cfgFor(backend, threads));
 }
 
 struct Scenario
 {
-    const char *name;
-    SpecMode spec;
-    std::unique_ptr<Simulator> (*make)(SpecMode, int);
+    std::string name;
+    Backend backend;
+    std::unique_ptr<Simulator> (*make)(Backend, int);
 };
+
+std::string
+backendName(Backend backend)
+{
+    SimConfig cfg;
+    cfg.backend = backend;
+    return cfg.toString();
+}
 
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    bool full = fullScale(argc, argv);
+    SimOptions opts = SimOptions::parse(argc, argv);
+    bool full = opts.full;
     double budget = full ? 4.0 : 1.5;
     std::vector<int> thread_counts = {1, 2, 4};
     if (full)
@@ -87,10 +95,19 @@ main(int argc, char **argv)
         static_cast<int>(std::thread::hardware_concurrency());
 
     std::vector<Scenario> scenarios = {
-        {"mesh_rtl_8x8", SpecMode::None, makeMesh},
-        {"mesh_rtl_8x8_bytecode", SpecMode::Bytecode, makeMesh},
-        {"multitile_4rtl_mesh", SpecMode::Bytecode, makeMultiTile},
+        {"mesh_rtl_8x8", Backend::OptInterp, makeMesh},
+        {"mesh_rtl_8x8_bytecode", Backend::Bytecode, makeMesh},
+        {"multitile_4rtl_mesh", Backend::Bytecode, makeMultiTile},
     };
+    if (opts.backend_set) {
+        // --backend=<b>: sweep just that backend on both workloads.
+        std::string b = backendName(opts.cfg.backend);
+        scenarios = {
+            {"mesh_rtl_8x8_" + b, opts.cfg.backend, makeMesh},
+            {"multitile_4rtl_mesh_" + b, opts.cfg.backend,
+             makeMultiTile},
+        };
+    }
 
     std::printf("ParSim thread scaling (host cpus: %d)\n", host_cpus);
     if (host_cpus < thread_counts.back()) {
@@ -106,22 +123,21 @@ main(int argc, char **argv)
 
     for (const Scenario &sc : scenarios) {
         rule('=');
-        std::printf("%s (spec %s)\n", sc.name,
-                    sc.spec == SpecMode::None ? "None" : "Bytecode");
+        std::printf("%s (backend %s)\n", sc.name.c_str(),
+                    backendName(sc.backend).c_str());
         rule('=');
         std::printf("%8s %14s %10s %10s\n", "threads", "cycles/s",
                     "speedup", "islands");
 
         json.beginObject();
         json.field("name", sc.name);
-        json.field("spec",
-                   sc.spec == SpecMode::None ? "none" : "bytecode");
+        json.field("backend", backendName(sc.backend));
         json.key("points").beginArray();
 
         double base_rate = 0.0;
         for (int threads : thread_counts) {
             RateResult r = measureRate(
-                [&] { return sc.make(sc.spec, threads); }, budget);
+                [&] { return sc.make(sc.backend, threads); }, budget);
             if (threads == 1)
                 base_rate = r.cycles_per_second;
             double speedup =
@@ -134,7 +150,7 @@ main(int argc, char **argv)
             int nislands = 1, nlevels = 1, cut = 0;
             double imbalance = 1.0;
             std::unique_ptr<Simulator> probe =
-                sc.make(sc.spec, threads);
+                sc.make(sc.backend, threads);
             if (auto *par =
                     dynamic_cast<ParSimulationTool *>(probe.get())) {
                 nislands = par->plan().nislands;

@@ -27,11 +27,9 @@ struct Point
 };
 
 Point
-measurePoint(double injection, uint64_t warmup, uint64_t window)
+measurePoint(const SimConfig &cfg, double injection, uint64_t warmup,
+             uint64_t window)
 {
-    SpecMode spec = CppJit::compilerAvailable() ? SpecMode::Cpp
-                                                : SpecMode::Bytecode;
-    SimConfig cfg{ExecMode::OptInterp, spec, SchedMode::Auto, "", true};
     auto top = std::make_unique<MeshTrafficTop>(
         "top", NetLevel::CLSpec, 64, 4, injection, 31);
     auto elab = top->elaborate();
@@ -48,7 +46,9 @@ measurePoint(double injection, uint64_t warmup, uint64_t window)
 int
 main(int argc, char **argv)
 {
-    bool full = fullScale(argc, argv);
+    SimOptions opts = SimOptions::parse(argc, argv);
+    bool full = opts.full;
+    SimConfig cfg = simjitConfig(opts);
     uint64_t warmup = full ? 5000 : 1000;
     uint64_t window = full ? 50000 : 8000;
 
@@ -62,7 +62,7 @@ main(int argc, char **argv)
     std::vector<Point> points;
     for (double inj : {0.005, 0.05, 0.10, 0.15, 0.20, 0.25, 0.28, 0.30,
                        0.32, 0.34, 0.36, 0.38, 0.40, 0.44}) {
-        Point p = measurePoint(inj, warmup, window);
+        Point p = measurePoint(cfg, inj, warmup, window);
         points.push_back(p);
         std::printf("%8.1f%% %12.2f %11.1f%%\n", p.offered * 100,
                     p.latency, p.throughput * 100);

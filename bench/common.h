@@ -25,9 +25,12 @@
 #include "core/scope.h"
 #include "core/sim.h"
 #include "core/timing.h"
+#include "stdlib/options.h"
 
 namespace cmtl {
 namespace bench {
+
+using stdlib::SimOptions;
 
 /** One execution configuration mapped to a paper configuration. */
 struct ModeSpec
@@ -59,16 +62,53 @@ paperModes()
     return modes;
 }
 
+/**
+ * Restrict the paper configurations to the CPython baseline (the
+ * speedup denominator) plus the backend named on the command line.
+ * Without --backend this is exactly paperModes().
+ */
+inline std::vector<ModeSpec>
+paperModes(const SimOptions &opts)
+{
+    if (!opts.backend_set)
+        return paperModes();
+    SimConfig chosen = opts.cfg;
+    chosen.threads = 1;
+    chosen.resolve();
+    std::vector<ModeSpec> modes;
+    modes.push_back(paperModes().front()); // CPython baseline
+    if (chosen.toString() != "interp")
+        modes.push_back({chosen.toString(), chosen});
+    return modes;
+}
+
 /** True when --full / CMTL_BENCH_FULL=1 requests paper-scale runs. */
 inline bool
 fullScale(int argc, char **argv)
 {
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--full") == 0)
-            return true;
+    return SimOptions::parse(argc, argv).full;
+}
+
+/**
+ * The default single-thread SimJIT configuration (per-block compiled
+ * C++ when a host compiler exists, bytecode otherwise), overridden by
+ * --backend=<b> when given on the command line.
+ */
+inline SimConfig
+simjitConfig(const SimOptions &opts)
+{
+    SimConfig cfg;
+    if (opts.backend_set) {
+        cfg = opts.cfg;
+        cfg.threads = 1;
+        cfg.resolve();
+        return cfg;
     }
-    const char *env = std::getenv("CMTL_BENCH_FULL");
-    return env && env[0] == '1';
+    cfg.exec = ExecMode::OptInterp;
+    cfg.spec = CppJit::compilerAvailable() ? SpecMode::Cpp
+                                           : SpecMode::Bytecode;
+    cfg.resolve();
+    return cfg;
 }
 
 /** Result of an adaptive rate measurement. */
@@ -93,9 +133,13 @@ measureRate(const std::function<std::unique_ptr<Simulator>()> &make,
     Stopwatch setup;
     std::unique_ptr<Simulator> sim = make();
     out.setup_seconds = setup.elapsed();
-    out.spec = sim->specStats();
 
     sim->cycle(warmup_cycles);
+    // Tiered cpp-design: drain the bytecode warm-up tier so the timed
+    // loop sees native steady state only. The drained cycles land in
+    // setup_seconds-equivalent territory via spec.tierSwapCycle.
+    while (sim->tierPending())
+        sim->cycle(warmup_cycles);
     uint64_t chunk = std::max<uint64_t>(16, warmup_cycles / 4);
     Stopwatch timer;
     uint64_t cycles = 0;
@@ -107,6 +151,9 @@ measureRate(const std::function<std::unique_ptr<Simulator>()> &make,
     }
     out.measured_cycles = cycles;
     out.cycles_per_second = static_cast<double>(cycles) / timer.elapsed();
+    // Read spec stats after the run: a tiered backend fills in its
+    // compile time and tier-swap cycle only once the swap happens.
+    out.spec = sim->specStats();
     return out;
 }
 

@@ -10,38 +10,33 @@
  * simulation: FL tiles finish in few (but inaccurate) cycles, RTL
  * tiles take realistically many, all in one simulation.
  *
- * Usage: heterogeneous_system [n] [--profile[=json]]
+ * Usage: heterogeneous_system [n] [--backend=<b>] [--profile[=json]]
  *
- * With --profile the whole run is SimScope-instrumented and ends with
+ * --backend selects the execution backend by its canonical name
+ * (interp, optinterp, bytecode, cpp-block, cpp-design, ...). With
+ * --profile the whole run is SimScope-instrumented and ends with
  * the hot-block ranking and val/rdy channel stats; --profile=json
  * emits the machine-readable snapshot as the last line instead.
  */
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <memory>
 
 #include "core/scope.h"
 #include "core/sim.h"
+#include "stdlib/options.h"
 #include "tile/multitile.h"
 
 using namespace cmtl;
 using namespace cmtl::tile;
+using cmtl::stdlib::SimOptions;
 
 int
 main(int argc, char **argv)
 {
-    int n = 8;
-    bool profile = false, profile_json = false;
-    for (int i = 1; i < argc; ++i) {
-        if (!std::strcmp(argv[i], "--profile"))
-            profile = true;
-        else if (!std::strcmp(argv[i], "--profile=json"))
-            profile = profile_json = true;
-        else if (std::atoi(argv[i]) > 0)
-            n = std::atoi(argv[i]);
-    }
+    SimOptions opts = SimOptions::parse(argc, argv);
+    int n = opts.intArg(8);
+    bool profile = opts.profile, profile_json = opts.profile_json;
 
     std::vector<std::array<Level, 3>> levels = {
         {Level::FL, Level::FL, Level::FL},
@@ -54,7 +49,7 @@ main(int argc, char **argv)
     loadMvmultData(sys.memNode(), w);
 
     auto elab = sys.elaborate();
-    SimulationTool sim(elab);
+    SimulationTool sim(elab, opts.cfg);
     std::unique_ptr<SimScope> scope;
     if (profile) {
         scope = std::make_unique<SimScope>(sim);

@@ -7,19 +7,21 @@
  * test harness drives FL, CL and RTL implementations interchangeably.
  * Also dumps a short VCD waveform of the RTL mesh.
  *
- * Usage: mesh_network [fl|cl|clspec|rtl] [nrouters] [--threads N]
- *                     [--profile[=json]]
+ * Usage: mesh_network [fl|cl|clspec|rtl] [nrouters]
+ *                     [--backend=<b>] [--threads N] [--profile[=json]]
  *
- * With --threads N > 1 the sweep runs on the parallel ParSim kernel
- * (bit-identical to the sequential one) and prints its partition
- * report. With --profile a SimScope-instrumented run follows the
- * sweep and prints the hot-block ranking, phase timing and val/rdy
- * channel stats; --profile=json emits the machine-readable snapshot
- * as the last line of output instead.
+ * --backend selects the execution backend by its canonical name
+ * (interp, optinterp, bytecode, cpp-block, cpp-design, ...); the
+ * default is the plain arena interpreter. With --threads N > 1 the
+ * sweep runs on the parallel ParSim kernel (bit-identical to the
+ * sequential one) and prints its partition report. With --profile a
+ * SimScope-instrumented run follows the sweep and prints the
+ * hot-block ranking, phase timing and val/rdy channel stats;
+ * --profile=json emits the machine-readable snapshot as the last
+ * line of output instead.
  */
 
 #include <cstdio>
-#include <cstring>
 
 #include "core/psim.h"
 #include "core/scope.h"
@@ -27,42 +29,29 @@
 #include "core/stats.h"
 #include "core/vcd.h"
 #include "net/traffic.h"
+#include "stdlib/options.h"
 
 using namespace cmtl;
 using namespace cmtl::net;
+using cmtl::stdlib::SimOptions;
 
 int
 main(int argc, char **argv)
 {
-    NetLevel level = NetLevel::CL;
-    int nrouters = 16;
-    int threads = 1;
-    bool profile = false, profile_json = false;
-    for (int i = 1; i < argc; ++i) {
-        if (!std::strcmp(argv[i], "fl"))
-            level = NetLevel::FL;
-        else if (!std::strcmp(argv[i], "cl"))
-            level = NetLevel::CL;
-        else if (!std::strcmp(argv[i], "clspec"))
-            level = NetLevel::CLSpec;
-        else if (!std::strcmp(argv[i], "rtl"))
-            level = NetLevel::RTL;
-        else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc)
-            threads = std::atoi(argv[++i]);
-        else if (!std::strcmp(argv[i], "--profile"))
-            profile = true;
-        else if (!std::strcmp(argv[i], "--profile=json"))
-            profile = profile_json = true;
-        else if (std::atoi(argv[i]) > 0)
-            nrouters = std::atoi(argv[i]);
-    }
-
-    SimConfig cfg;
-    cfg.threads = threads;
+    SimOptions opts = SimOptions::parse(argc, argv);
+    NetLevel level = opts.level == "fl"       ? NetLevel::FL
+                     : opts.level == "clspec" ? NetLevel::CLSpec
+                     : opts.level == "rtl"    ? NetLevel::RTL
+                                              : NetLevel::CL;
+    int nrouters = opts.intArg(16);
+    int threads = opts.threads;
+    bool profile = opts.profile, profile_json = opts.profile_json;
+    const SimConfig &cfg = opts.cfg;
 
     std::printf("%s mesh, %d routers, uniform random traffic, %d "
-                "thread(s)\n\n",
-                netLevelName(level), nrouters, threads);
+                "thread(s), backend %s\n\n",
+                netLevelName(level), nrouters, threads,
+                cfg.toString().c_str());
     std::printf("%9s %12s %12s\n", "injection", "avg latency",
                 "throughput");
     bool reported = false;

@@ -23,9 +23,12 @@ maskHex(int nbits)
 class BlockEmitter
 {
   public:
+    /** @p array_alias (optional, indexed by array id): arrays bound
+     *  to a typed local `aN` pointer by the enclosing entry point. */
     BlockEmitter(const ElabBlock &blk, const ArenaStore &store,
-                 std::ostringstream &os)
-        : blk_(blk), store_(store), os_(os)
+                 std::ostringstream &os,
+                 const std::vector<char> *array_alias = nullptr)
+        : blk_(blk), store_(store), os_(os), array_alias_(array_alias)
     {}
 
     void
@@ -57,6 +60,15 @@ class BlockEmitter
         return "w[" +
                std::to_string(store_.offset(net) + store_.wordsPerPhase()) +
                "]";
+    }
+
+    /** Open-bracketed base of an array element access. */
+    std::string
+    arrayBase(int id) const
+    {
+        if (array_alias_ && (*array_alias_)[id])
+            return "a" + std::to_string(id) + "[";
+        return "w[" + std::to_string(store_.arrayOffset(id)) + " + ";
     }
 
     std::string
@@ -161,9 +173,9 @@ class BlockEmitter
                    maskHex(e->nbits) + ")";
           case IrExprNode::Kind::ARead: {
             int id = e->array->arrayId();
-            return "w[" + std::to_string(store_.arrayOffset(id)) +
-                   " + ((" + expr(e->args[0].get()) + ") & " +
-                   std::to_string(store_.arrayIndexMask(id)) + "ull)]";
+            return arrayBase(id) + "((" + expr(e->args[0].get()) +
+                   ") & " + std::to_string(store_.arrayIndexMask(id)) +
+                   "ull)]";
           }
         }
         throw std::logic_error("unhandled expr kind");
@@ -211,10 +223,9 @@ class BlockEmitter
               case IrStmt::Kind::AWrite: {
                 pad(indent);
                 int id = s.array->arrayId();
-                os_ << "w[" << store_.arrayOffset(id) << " + (("
-                    << expr(s.cond.get()) << ") & "
-                    << store_.arrayIndexMask(id) << "ull)] = "
-                    << expr(s.rhs.get()) << " & "
+                os_ << arrayBase(id) << "((" << expr(s.cond.get())
+                    << ") & " << store_.arrayIndexMask(id)
+                    << "ull)] = " << expr(s.rhs.get()) << " & "
                     << maskHex(s.array->nbits()) << ";\n";
                 break;
               }
@@ -225,7 +236,27 @@ class BlockEmitter
     const ElabBlock &blk_;
     const ArenaStore &store_;
     std::ostringstream &os_;
+    const std::vector<char> *array_alias_;
 };
+
+/** The shared translation-unit header (helpers used by both modes). */
+void
+emitPrelude(std::ostringstream &os, const Elaboration &elab)
+{
+    os << "// Generated by CMTL SimJIT-C++ specializer.\n"
+       << "// Design: " << elab.top->fullName() << "\n"
+       << "#include <cstdint>\n\n"
+       << "static inline uint64_t cmtl_shl(uint64_t a, uint64_t n)\n"
+       << "{ return n >= 64 ? 0 : a << n; }\n"
+       << "static inline uint64_t cmtl_shr(uint64_t a, uint64_t n)\n"
+       << "{ return n >= 64 ? 0 : a >> n; }\n"
+       << "static inline uint64_t cmtl_sra(uint64_t a, int nb, uint64_t n)\n"
+       << "{ int64_t v = (int64_t)(a << (64 - nb)) >> (64 - nb);\n"
+       << "  return (uint64_t)(v >> (n > 63 ? 63 : (int)n)); }\n"
+       << "static inline uint64_t cmtl_sext(uint64_t a, int nb)\n"
+       << "{ return (uint64_t)((int64_t)(a << (64 - nb)) >> (64 - nb)); }\n"
+       << "\n";
+}
 
 } // namespace
 
@@ -240,19 +271,7 @@ cppEmitProgram(const Elaboration &elab, const ArenaStore &store,
                const std::vector<std::vector<int>> &groups)
 {
     std::ostringstream os;
-    os << "// Generated by CMTL SimJIT-C++ specializer.\n"
-       << "// Design: " << elab.top->fullName() << "\n"
-       << "#include <cstdint>\n\n"
-       << "static inline uint64_t cmtl_shl(uint64_t a, uint64_t n)\n"
-       << "{ return n >= 64 ? 0 : a << n; }\n"
-       << "static inline uint64_t cmtl_shr(uint64_t a, uint64_t n)\n"
-       << "{ return n >= 64 ? 0 : a >> n; }\n"
-       << "static inline uint64_t cmtl_sra(uint64_t a, int nb, uint64_t n)\n"
-       << "{ int64_t v = (int64_t)(a << (64 - nb)) >> (64 - nb);\n"
-       << "  return (uint64_t)(v >> (n > 63 ? 63 : (int)n)); }\n"
-       << "static inline uint64_t cmtl_sext(uint64_t a, int nb)\n"
-       << "{ return (uint64_t)((int64_t)(a << (64 - nb)) >> (64 - nb)); }\n"
-       << "\n";
+    emitPrelude(os, elab);
 
     for (size_t k = 0; k < groups.size(); ++k) {
         os << "extern \"C\" void " << cppGroupSymbol(static_cast<int>(k))
@@ -263,6 +282,67 @@ cppEmitProgram(const Elaboration &elab, const ArenaStore &store,
             std::ostringstream body;
             BlockEmitter(blk, store, body).run(8);
             os << body.str() << "    }\n";
+        }
+        os << "}\n\n";
+    }
+    return os.str();
+}
+
+std::string
+cppEmitProgram(const Elaboration &elab, const ArenaStore &store,
+               const std::vector<CppUnit> &units)
+{
+    std::ostringstream os;
+    emitPrelude(os, elab);
+
+    const int nnets = static_cast<int>(elab.nets.size());
+    for (size_t k = 0; k < units.size(); ++k) {
+        os << "extern \"C\" void " << cppGroupSymbol(static_cast<int>(k))
+           << "(uint64_t *w)\n{\n";
+
+        // Bind every memory array this unit touches to a typed local
+        // alias; the compiler then treats each array as a distinct C
+        // array instead of re-deriving offsets into one giant buffer.
+        std::vector<char> alias(elab.arrays.size(), 0);
+        for (const CppUnit::Item &item : units[k].items) {
+            if (item.block < 0)
+                continue;
+            const ElabBlock &blk = elab.blocks[item.block];
+            for (int tok : blk.reads) {
+                if (tok >= nnets)
+                    alias[tok - nnets] = 1;
+            }
+            for (int tok : blk.writes) {
+                if (tok >= nnets)
+                    alias[tok - nnets] = 1;
+            }
+        }
+        for (size_t id = 0; id < alias.size(); ++id) {
+            if (!alias[id])
+                continue;
+            os << "    uint64_t *const a" << id << " = w + "
+               << store.arrayOffset(static_cast<int>(id)) << "; // "
+               << elab.arrays[id]->depth() << "x"
+               << elab.arrays[id]->nbits() << "b\n";
+        }
+
+        for (const CppUnit::Item &item : units[k].items) {
+            if (item.block >= 0) {
+                const ElabBlock &blk = elab.blocks[item.block];
+                os << "    { // " << blk.name << "\n";
+                std::ostringstream body;
+                BlockEmitter(blk, store, body, &alias).run(8);
+                os << body.str() << "    }\n";
+            } else {
+                // next -> current register copy, word by word.
+                int net = item.flopNet;
+                int cur = store.offset(net);
+                int nxt = cur + store.wordsPerPhase();
+                for (int wd = 0; wd < store.nwords(net); ++wd) {
+                    os << "    w[" << cur + wd << "] = w[" << nxt + wd
+                       << "];\n";
+                }
+            }
         }
         os << "}\n\n";
     }

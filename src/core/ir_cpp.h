@@ -33,6 +33,32 @@ namespace cmtl {
 std::string cppEmitProgram(const Elaboration &elab, const ArenaStore &store,
                            const std::vector<std::vector<int>> &groups);
 
+/**
+ * One whole-design specialization unit (the cpp-design backend): an
+ * ordered mix of block executions and register flops emitted into a
+ * single entry point. A unit holding every tick block, every flop and
+ * the full levelized comb schedule is a complete step() function.
+ */
+struct CppUnit
+{
+    struct Item
+    {
+        int block = -1;   //!< ElabBlock index to execute, or
+        int flopNet = -1; //!< net to copy next -> current (block < 0)
+    };
+    std::vector<Item> items;
+};
+
+/**
+ * Emit the C++ source for whole-design units. Differs from the group
+ * overload in two ways: flop items compile to straight-line word
+ * copies, and every memory array touched by a unit is bound to a
+ * typed local alias pointer instead of re-deriving `w + offset` at
+ * each access.
+ */
+std::string cppEmitProgram(const Elaboration &elab, const ArenaStore &store,
+                           const std::vector<CppUnit> &units);
+
 /** Symbol name of group @p k in the emitted source. */
 std::string cppGroupSymbol(int k);
 

@@ -1,9 +1,12 @@
 #include "jit_cpp.h"
 
+#include <dirent.h>
 #include <dlfcn.h>
 #include <sys/stat.h>
+#include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
@@ -194,6 +197,67 @@ CppJit::flagString() const
                                       extra_flags_;
 }
 
+uint64_t
+CppJit::cacheMaxBytes()
+{
+    if (const char *env = std::getenv("CMTL_JIT_CACHE_MAX_MB")) {
+        char *end = nullptr;
+        unsigned long long mb = std::strtoull(env, &end, 10);
+        if (end != env)
+            return static_cast<uint64_t>(mb) * 1024 * 1024;
+    }
+    return 256ull * 1024 * 1024;
+}
+
+void
+CppJit::evictCache(const std::string &dir, uint64_t max_bytes,
+                   const std::string &keep)
+{
+    struct Entry
+    {
+        std::string path;
+        uint64_t size;
+        time_t mtime;
+    };
+    DIR *d = ::opendir(dir.c_str());
+    if (!d)
+        return;
+    std::vector<Entry> entries;
+    uint64_t total = 0;
+    while (struct dirent *e = ::readdir(d)) {
+        std::string name = e->d_name;
+        // Only published libraries count; in-progress scratch files
+        // (.build.*) belong to a live compile and are left alone.
+        if (name.rfind("cmtl_", 0) != 0 || name.size() < 4 ||
+            name.compare(name.size() - 3, 3, ".so") != 0)
+            continue;
+        std::string path = dir + "/" + name;
+        struct stat st;
+        if (::stat(path.c_str(), &st) != 0 || !S_ISREG(st.st_mode))
+            continue;
+        entries.push_back(
+            {path, static_cast<uint64_t>(st.st_size), st.st_mtime});
+        total += static_cast<uint64_t>(st.st_size);
+    }
+    ::closedir(d);
+    if (total <= max_bytes)
+        return;
+    // Oldest mtime first = least recently used (hits touch the file).
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) {
+                  return a.mtime != b.mtime ? a.mtime < b.mtime
+                                            : a.path < b.path;
+              });
+    for (const Entry &en : entries) {
+        if (total <= max_bytes)
+            break;
+        if (en.path == keep)
+            continue;
+        if (::unlink(en.path.c_str()) == 0)
+            total -= en.size;
+    }
+}
+
 std::string
 CppJit::cachePathFor(const std::string &source) const
 {
@@ -216,6 +280,8 @@ CppJit::compile(const std::string &source, int ngroups)
     double t0 = seconds();
     if (use_cache_ && fileExists(so_path)) {
         lib.cache_hit_ = true;
+        // Refresh the entry's mtime: eviction is LRU over mtimes.
+        ::utimes(so_path.c_str(), nullptr);
     } else {
         // Scratch paths are unique per compile (pid + process-wide
         // counter): two simulators compiling the same source
@@ -249,6 +315,9 @@ CppJit::compile(const std::string &source, int ngroups)
             throw std::runtime_error("SimJIT: cannot publish " + so_path);
         std::remove(cc_path.c_str());
         std::remove(log_path.c_str());
+        // Keep the cache directory bounded (it otherwise grows by one
+        // .so per distinct design/flag/compiler combination, forever).
+        evictCache(cache_dir_, cacheMaxBytes(), so_path);
     }
     lib.compile_seconds_ = seconds() - t0;
 

@@ -61,6 +61,13 @@ class CppJit
 {
   public:
     /**
+     * Extra flags for whole-design (cpp-design) translation units.
+     * Kept at the base -O1: the fused functions are huge and measured
+     * -O2 compiles are an order of magnitude slower to build while
+     * producing *slower* steady-state code on them.
+     */
+    static constexpr const char *kWholeDesignFlags = "";
+    /**
      * @param cache_dir directory for generated sources and cached .so
      *                  files; created (with parents) if missing.
      *                  Throws std::runtime_error when it cannot be
@@ -87,6 +94,22 @@ class CppJit
 
     /** Cache file this source would hit (for tests/diagnostics). */
     std::string cachePathFor(const std::string &source) const;
+
+    /**
+     * Cache size cap in bytes: $CMTL_JIT_CACHE_MAX_MB, default 256
+     * MiB. After every publish the cache is trimmed back under the
+     * cap by deleting the least-recently-used entries (cache hits
+     * refresh an entry's mtime).
+     */
+    static uint64_t cacheMaxBytes();
+
+    /**
+     * Delete least-recently-used cmtl_*.so entries from @p dir until
+     * the total size fits @p max_bytes; @p keep is never deleted.
+     * Exposed for the regression test.
+     */
+    static void evictCache(const std::string &dir, uint64_t max_bytes,
+                           const std::string &keep);
 
     /**
      * Compile @p source (with @p ngroups cmtl_grp_<k> entry points)

@@ -79,6 +79,8 @@ ParSimulationTool::ParSimulationTool(std::shared_ptr<Elaboration> elab,
 
 ParSimulationTool::~ParSimulationTool()
 {
+    if (jit_thread_.joinable())
+        jit_thread_.join();
     shutdownWorkers();
     for (Signal *sig : elab_->signals) {
         if (sig->access() == this)
@@ -168,10 +170,13 @@ ParSimulationTool::specialize()
         }
     }
 
-    if (cfg_.spec == SpecMode::Bytecode) {
+    const bool design = designMode();
+    if (cfg_.spec == SpecMode::Bytecode || design) {
         // One shared program per block: programs address the arena by
         // absolute offset, so every island runs them against its own
-        // replica's data pointer. Scratch is per island.
+        // replica's data pointer. Scratch is per island. For
+        // cpp-design this is the warm-up tier executed while the
+        // whole-design compile runs in the background.
         bc_programs_.resize(blocks.size());
         int max_scratch = 0;
         auto compileSteps = [&](std::vector<PStep> &steps) {
@@ -196,13 +201,17 @@ ParSimulationTool::specialize()
             std::vector<uint64_t>(static_cast<size_t>(max_scratch) + 1, 0));
         spec_stats_.numGroups = spec_stats_.numSpecialized;
         spec_stats_.codegenSeconds = sw.elapsed();
+        if (!design)
+            return;
+        specializeDesign();
         return;
     }
 
-    // SpecMode::Cpp: fuse contiguous specializable runs of one island
-    // (same superstep level for comb, the whole list for ticks) into
-    // compiled groups; each group is invoked with the island's replica
-    // data pointer.
+    // SpecMode::Cpp per-block (cpp-block): every specialized block is
+    // its own compiled entry point, invoked with the island's replica
+    // data pointer — one C-ABI crossing per block per phase, the same
+    // granularity as the sequential kernel.
+    const bool per_block = cfg_.backend == Backend::CppBlock;
     std::vector<std::vector<int>> groups;
     auto groupSteps = [&](std::vector<PStep> &steps, bool levelBound) {
         std::vector<PStep> out;
@@ -216,7 +225,8 @@ ParSimulationTool::specialize()
             std::vector<int> group;
             size_t j = i;
             while (j < steps.size() && specialized_[steps[j].block] &&
-                   (!levelBound || steps[j].level == steps[i].level)) {
+                   (!levelBound || steps[j].level == steps[i].level) &&
+                   (group.empty() || !per_block)) {
                 group.push_back(steps[j].block);
                 ++j;
             }
@@ -247,6 +257,130 @@ ParSimulationTool::specialize()
     spec_stats_.compileSeconds = cpp_lib_.compileSeconds();
     spec_stats_.wrapSeconds = cpp_lib_.wrapSeconds();
     spec_stats_.cacheHit = cpp_lib_.cacheHit();
+}
+
+void
+ParSimulationTool::specializeDesign()
+{
+    Stopwatch sw;
+    // Native tier: each island's schedule fused into whole-island
+    // modules (one per superstep level for comb — the bulk-synchronous
+    // push points are immovable — one for the tick list, one for the
+    // flop phase), built over the bytecode-marked schedules so
+    // unspecialized blocks keep their slot-evaluated steps.
+    nat_comb_steps_ = comb_steps_;
+    nat_tick_steps_ = tick_steps_;
+    std::vector<CppUnit> units;
+    auto fuse = [&](std::vector<PStep> &steps, bool levelBound) {
+        std::vector<PStep> out;
+        size_t i = 0;
+        while (i < steps.size()) {
+            if (!specialized_[steps[i].block]) {
+                out.push_back(steps[i]);
+                ++i;
+                continue;
+            }
+            CppUnit unit;
+            size_t j = i;
+            while (j < steps.size() && specialized_[steps[j].block] &&
+                   (!levelBound || steps[j].level == steps[i].level)) {
+                unit.items.push_back(CppUnit::Item{steps[j].block, -1});
+                ++j;
+            }
+            PStep step;
+            step.kind = PStep::Kind::Native;
+            step.block = steps[i].block;
+            step.group = static_cast<int>(units.size());
+            step.level = steps[i].level;
+            units.push_back(std::move(unit));
+            out.push_back(step);
+            i = j;
+        }
+        steps = std::move(out);
+    };
+    for (int i = 0; i < plan_.nislands; ++i) {
+        fuse(nat_comb_steps_[i], true);
+        fuse(nat_tick_steps_[i], false);
+    }
+    // Per-island flop modules over the island's owned statically
+    // flopped nets (dynamic lambda flops stay on the coordinator).
+    island_flop_unit_.assign(plan_.nislands, -1);
+    for (int i = 0; i < plan_.nislands; ++i) {
+        CppUnit unit;
+        for (int net : plan_.islands[i].flopNets)
+            unit.items.push_back(CppUnit::Item{-1, net});
+        island_flop_unit_[i] = static_cast<int>(units.size());
+        units.push_back(std::move(unit));
+    }
+
+    design_source_ = cppEmitProgram(*elab_, *replicas_[0], units);
+    design_nunits_ = static_cast<int>(units.size());
+    spec_stats_.codegenSeconds += sw.elapsed();
+    spec_stats_.tiered = cfg_.jit_tiered;
+
+    std::string cache_dir = cfg_.jit_cache_dir.empty()
+                                ? CppJit::defaultCacheDir()
+                                : cfg_.jit_cache_dir;
+    if (!cfg_.jit_tiered) {
+        // Workers have not started yet, so adopting here is trivially
+        // safe; the first cycle runs native.
+        CppJit jit(cache_dir, cfg_.jit_cache, CppJit::kWholeDesignFlags);
+        cpp_lib_ = jit.compile(design_source_, design_nunits_);
+        adoptNativeTier();
+        return;
+    }
+    jit_thread_ = std::thread([this, cache_dir] {
+        try {
+            CppJit jit(cache_dir, cfg_.jit_cache,
+                       CppJit::kWholeDesignFlags);
+            pending_lib_ = jit.compile(design_source_, design_nunits_);
+        } catch (...) {
+            jit_error_ = std::current_exception();
+        }
+        jit_ready_.store(true, std::memory_order_release);
+    });
+}
+
+void
+ParSimulationTool::adoptNativeTier()
+{
+    spec_stats_.compileSeconds = cpp_lib_.compileSeconds();
+    spec_stats_.wrapSeconds = cpp_lib_.wrapSeconds();
+    spec_stats_.cacheHit = cpp_lib_.cacheHit();
+    spec_stats_.numGroups = design_nunits_;
+    spec_stats_.tierSwapCycle = static_cast<int64_t>(ncycles_);
+    comb_steps_ = std::move(nat_comb_steps_);
+    tick_steps_ = std::move(nat_tick_steps_);
+    design_native_ = true;
+}
+
+void
+ParSimulationTool::maybeSwapTier()
+{
+    if (!designMode() || design_native_ || tier_failed_ ||
+        !cfg_.jit_tiered)
+        return;
+    if (!jit_ready_.load(std::memory_order_acquire))
+        return;
+    if (jit_thread_.joinable())
+        jit_thread_.join();
+    if (jit_error_) {
+        tier_failed_ = true;
+        std::exception_ptr err = jit_error_;
+        jit_error_ = nullptr;
+        std::rethrow_exception(err);
+    }
+    cpp_lib_ = std::move(pending_lib_);
+    // Every worker is parked before the next start barrier; the
+    // barrier that releases them also publishes the swapped schedules.
+    adoptNativeTier();
+}
+
+bool
+ParSimulationTool::tierPending() const
+{
+    return designMode() && cfg_.jit_tiered && !design_native_ &&
+           !tier_failed_;
 }
 
 // ------------------------------------------------------ thread pool
@@ -462,8 +596,13 @@ ParSimulationTool::runIslandTick(int island)
 void
 ParSimulationTool::runIslandFlop(int island)
 {
-    for (int net : plan_.islands[island].flopNets)
-        replicas_[island]->flop(net);
+    if (design_native_) {
+        cpp_lib_.group(island_flop_unit_[island])(
+            replicas_[island]->data());
+    } else {
+        for (int net : plan_.islands[island].flopNets)
+            replicas_[island]->flop(net);
+    }
     // Publish post-flop (and blocking-tick-written) current values.
     // No barrier needed before the pushes: each copied net is owned by
     // exactly one island, and flop targets are island-owned too, so
@@ -484,6 +623,7 @@ ParSimulationTool::settlePhase()
 void
 ParSimulationTool::cycle()
 {
+    maybeSwapTier();
     if (dirty_)
         settlePhase();
     runPhase(Cmd::Tick);
@@ -497,6 +637,7 @@ ParSimulationTool::cycle()
 void
 ParSimulationTool::eval()
 {
+    maybeSwapTier();
     settlePhase();
 }
 

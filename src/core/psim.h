@@ -120,6 +120,8 @@ class ParSimulationTool : public Simulator
     void writeArray(MemArray &array, uint64_t index,
                     const Bits &value) override;
 
+    bool tierPending() const override;
+
     // --- SignalAccess ----------------------------------------------
     Bits read(const Signal &sig) const override;
     void write(Signal &sig, const Bits &value) override;
@@ -149,8 +151,13 @@ class ParSimulationTool : public Simulator
         int n;
     };
 
+    bool designMode() const { return cfg_.backend == Backend::CppDesign; }
+
     void buildIslandSchedules();
     void specialize();
+    void specializeDesign();
+    void adoptNativeTier();
+    void maybeSwapTier();
     void startWorkers();
     void shutdownWorkers();
     void workerLoop(int island);
@@ -184,6 +191,24 @@ class ParSimulationTool : public Simulator
     std::vector<std::vector<uint64_t>> bc_scratch_; //!< per island
     CppJitLibrary cpp_lib_;
     std::vector<char> specialized_;
+
+    // --- cpp-design tiering ----------------------------------------
+    // Tier 0 runs the per-island bytecode schedules; the fused native
+    // schedules below replace comb_steps_/tick_steps_ wholesale when
+    // the background compile is adopted. The swap happens on the
+    // coordinator while every worker is parked before a start barrier,
+    // which also publishes the new schedules to them.
+    std::vector<std::vector<PStep>> nat_comb_steps_;
+    std::vector<std::vector<PStep>> nat_tick_steps_;
+    std::vector<int> island_flop_unit_; //!< per-island flop module
+    std::string design_source_;
+    int design_nunits_ = 0;
+    bool design_native_ = false;
+    bool tier_failed_ = false;
+    std::thread jit_thread_;
+    std::atomic<bool> jit_ready_{false};
+    CppJitLibrary pending_lib_;
+    std::exception_ptr jit_error_;
 
     // Nets flopped by the coordinating thread (registered dynamically
     // by lambda writeNext; statically flopped nets belong to islands).

@@ -335,6 +335,22 @@ void
 SimScope::exportMetrics(MetricsRegistry &reg) const
 {
     reg.setCounter("scope.cycles", cycles());
+    // Backend/JIT cost metrics, so --profile=json and the bench
+    // "metrics" sections carry compile overhead and the tier
+    // transition next to the runtime phase numbers.
+    const SpecStats &spec = sim_.specStats();
+    reg.setGauge("scope.jit.codegen_seconds", spec.codegenSeconds);
+    reg.setGauge("scope.jit.compile_seconds", spec.compileSeconds);
+    reg.setCounter("scope.jit.cache_hit", spec.cacheHit ? 1 : 0);
+    if (spec.tiered) {
+        // Tier-transition event: -1 while the warm-up (bytecode) tier
+        // is still running, else the cycle the native module went
+        // live at a cycle boundary.
+        reg.setGauge("scope.jit.tier_swap_cycle",
+                     static_cast<double>(spec.tierSwapCycle));
+        reg.setCounter("scope.jit.tier_swaps",
+                       spec.tierSwapCycle >= 0 ? 1 : 0);
+    }
     PhaseBreakdown pb = phaseBreakdown();
     reg.setGauge("scope.phase.settle_seconds", pb.settle_seconds);
     reg.setGauge("scope.phase.tick_seconds", pb.tick_seconds);
@@ -375,7 +391,11 @@ SimScope::jsonSnapshot() const
     std::ostringstream os;
     os << "{\"scope_version\":1,\"kernel\":"
        << (parsim_ ? "\"parsim\"" : "\"sequential\"")
-       << ",\"timing\":" << (probe_.exact ? "\"exact\"" : "\"sampled\"")
+       << ",\"backend\":";
+    // Same canonical string SimConfig round-trips and
+    // simulatorReport prints.
+    jsonString(os, sim_.config().toString());
+    os << ",\"timing\":" << (probe_.exact ? "\"exact\"" : "\"sampled\"")
        << ",\"cycles\":" << cycles();
 
     PhaseBreakdown pb = phaseBreakdown();

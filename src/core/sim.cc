@@ -1,11 +1,111 @@
 #include "sim.h"
 
+#include <queue>
 #include <stdexcept>
 
 #include "ir_cpp.h"
 #include "timing.h"
 
 namespace cmtl {
+
+// -------------------------------------------------------------- SimConfig
+
+void
+SimConfig::resolve()
+{
+    if (backend == Backend::Auto) {
+        // Legacy call sites speak exec/spec; give their combination a
+        // canonical name without changing what runs.
+        switch (spec) {
+          case SpecMode::None:
+            backend = exec == ExecMode::Interp ? Backend::Interp
+                                               : Backend::OptInterp;
+            break;
+          case SpecMode::Bytecode:
+            backend = Backend::Bytecode;
+            break;
+          case SpecMode::Cpp:
+            backend = Backend::CppBlock;
+            break;
+        }
+        return;
+    }
+    // Explicit backend: project onto the deprecated fields so code
+    // still reading exec/spec observes a consistent configuration.
+    switch (backend) {
+      case Backend::Auto: // unreachable
+        break;
+      case Backend::Interp:
+        exec = ExecMode::Interp;
+        spec = SpecMode::None;
+        break;
+      case Backend::OptInterp:
+        exec = ExecMode::OptInterp;
+        spec = SpecMode::None;
+        break;
+      case Backend::Bytecode:
+        // exec is preserved: Interp selects the boxed-host hybrid.
+        spec = SpecMode::Bytecode;
+        break;
+      case Backend::CppBlock:
+        spec = SpecMode::Cpp;
+        break;
+      case Backend::CppDesign:
+        exec = ExecMode::OptInterp;
+        spec = SpecMode::Cpp;
+        break;
+    }
+}
+
+std::string
+SimConfig::toString() const
+{
+    SimConfig r = *this;
+    r.resolve();
+    const bool hybrid = r.exec == ExecMode::Interp;
+    switch (r.backend) {
+      case Backend::Auto: // resolve() never leaves Auto
+        break;
+      case Backend::Interp: return "interp";
+      case Backend::OptInterp: return "optinterp";
+      case Backend::Bytecode:
+        return hybrid ? "interp+bytecode" : "bytecode";
+      case Backend::CppBlock:
+        return hybrid ? "interp+cpp-block" : "cpp-block";
+      case Backend::CppDesign: return "cpp-design";
+    }
+    return "interp";
+}
+
+SimConfig
+SimConfig::fromString(const std::string &name)
+{
+    SimConfig cfg;
+    if (name == "interp") {
+        cfg.backend = Backend::Interp;
+    } else if (name == "optinterp") {
+        cfg.backend = Backend::OptInterp;
+    } else if (name == "bytecode") {
+        cfg.backend = Backend::Bytecode;
+    } else if (name == "cpp-block" || name == "cpp") {
+        cfg.backend = Backend::CppBlock;
+    } else if (name == "cpp-design") {
+        cfg.backend = Backend::CppDesign;
+    } else if (name == "interp+bytecode") {
+        cfg.backend = Backend::Bytecode;
+        cfg.exec = ExecMode::Interp;
+    } else if (name == "interp+cpp-block" || name == "interp+cpp") {
+        cfg.backend = Backend::CppBlock;
+        cfg.exec = ExecMode::Interp;
+    } else {
+        throw std::invalid_argument(
+            "unknown backend '" + name +
+            "' (expected interp, optinterp, bytecode, cpp-block, "
+            "cpp-design, interp+bytecode or interp+cpp-block)");
+    }
+    cfg.resolve();
+    return cfg;
+}
 
 // ------------------------------------------------------------- Simulator
 
@@ -50,6 +150,11 @@ SimulationTool::SimulationTool(std::shared_ptr<Elaboration> elab,
     event_driven_ =
         cfg_.sched == SchedMode::Event ||
         (cfg_.sched == SchedMode::Auto && cfg_.exec == ExecMode::Interp);
+    if (designMode() && event_driven_) {
+        throw std::logic_error(
+            "cpp-design fuses the static levelized schedule; "
+            "SchedMode::Event is incompatible");
+    }
     if (!event_driven_ && elab_->hasCombCycle) {
         throw std::logic_error(
             "design has a combinational cycle; static scheduling is "
@@ -108,10 +213,36 @@ SimulationTool::SimulationTool(std::shared_ptr<Elaboration> elab,
 
 SimulationTool::~SimulationTool()
 {
+    if (jit_thread_.joinable())
+        jit_thread_.join();
     for (Signal *sig : elab_->signals) {
         if (sig->access() == this)
             sig->setAccess(nullptr);
     }
+}
+
+SimulationTool::Step
+SimulationTool::makeStep(int idx) const
+{
+    const ElabBlock &blk = elab_->blocks[idx];
+    Step step;
+    step.block = idx;
+    step.reads = &blk.reads;
+    step.writes = &blk.writes;
+    step.sequential = isTick(blk.kind);
+    switch (blk.kind) {
+      case BlockKind::TickFl:
+      case BlockKind::TickCl:
+      case BlockKind::CombLambda:
+        step.kind = Step::Kind::Lambda;
+        break;
+      case BlockKind::TickIr:
+      case BlockKind::CombIr:
+        step.kind = useBoxed() ? Step::Kind::BoxedIr
+                               : Step::Kind::SlotIr;
+        break;
+    }
+    return step;
 }
 
 void
@@ -120,28 +251,6 @@ SimulationTool::buildSchedule()
     const auto &blocks = elab_->blocks;
     spec_stats_.numBlocks = static_cast<int>(blocks.size());
     comb_step_of_block_.assign(blocks.size(), -1);
-
-    auto makeStep = [&](int idx) {
-        const ElabBlock &blk = blocks[idx];
-        Step step;
-        step.block = idx;
-        step.reads = &blk.reads;
-        step.writes = &blk.writes;
-        step.sequential = isTick(blk.kind);
-        switch (blk.kind) {
-          case BlockKind::TickFl:
-          case BlockKind::TickCl:
-          case BlockKind::CombLambda:
-            step.kind = Step::Kind::Lambda;
-            break;
-          case BlockKind::TickIr:
-          case BlockKind::CombIr:
-            step.kind = useBoxed() ? Step::Kind::BoxedIr
-                                   : Step::Kind::SlotIr;
-            break;
-        }
-        return step;
-    };
 
     // Combinational steps in topological order when available.
     std::vector<int> comb_order = elab_->combOrder;
@@ -211,6 +320,15 @@ SimulationTool::specialize()
     // fixed topological order and running a comb block with unchanged
     // inputs is idempotent; under event-driven scheduling the fused
     // group simply becomes the scheduling unit.
+    //
+    // cpp-block deliberately does NOT fuse: every specialized block is
+    // its own compiled entry point, crossing the C ABI once per block
+    // per phase (the paper's per-component SimJIT granularity and the
+    // baseline cpp-design is measured against). cpp-design groups here
+    // describe its bytecode warm-up tier; the fused native schedule is
+    // built separately in specializeDesign().
+    const bool design = designMode();
+    const bool per_block = cfg_.backend == Backend::CppBlock;
     std::vector<std::vector<int>> groups;
     auto groupSteps = [&](std::vector<Step> &steps) {
         std::vector<Step> out;
@@ -225,7 +343,8 @@ SimulationTool::specialize()
             std::vector<int> reads, writes;
             size_t j = i;
             while (j < steps.size() && can[steps[j].block] &&
-                   steps[j].sequential == steps[i].sequential) {
+                   steps[j].sequential == steps[i].sequential &&
+                   (group.empty() || !per_block)) {
                 group.push_back(steps[j].block);
                 const ElabBlock &blk = blocks[steps[j].block];
                 reads.insert(reads.end(), blk.reads.begin(),
@@ -242,7 +361,7 @@ SimulationTool::specialize()
                          writes.end());
 
             Step step;
-            step.kind = cfg_.spec == SpecMode::Cpp
+            step.kind = (cfg_.spec == SpecMode::Cpp && !design)
                             ? Step::Kind::Native
                             : Step::Kind::Bytecode;
             step.block = steps[i].block;
@@ -293,7 +412,7 @@ SimulationTool::specialize()
 
     spec_stats_.numGroups = static_cast<int>(groups.size());
 
-    if (cfg_.spec == SpecMode::Bytecode) {
+    if (cfg_.spec == SpecMode::Bytecode || design) {
         bc_programs_.resize(blocks.size());
         int max_scratch = 0;
         group_bc_.resize(groups.size());
@@ -307,6 +426,9 @@ SimulationTool::specialize()
         }
         bc_scratch_.assign(static_cast<size_t>(max_scratch) + 1, 0);
         spec_stats_.codegenSeconds = sw.elapsed();
+        if (!design)
+            return;
+        specializeDesign(can);
         return;
     }
 
@@ -320,6 +442,229 @@ SimulationTool::specialize()
     spec_stats_.compileSeconds = cpp_lib_.compileSeconds();
     spec_stats_.wrapSeconds = cpp_lib_.wrapSeconds();
     spec_stats_.cacheHit = cpp_lib_.cacheHit();
+}
+
+std::vector<int>
+SimulationTool::designCombOrder(const std::vector<char> &can) const
+{
+    // Any topological order of the comb dependency graph settles to
+    // the same fixed point (each block runs once, after all writers of
+    // its inputs), so we are free to re-levelize for fusion: a Kahn
+    // traversal that prefers to keep emitting blocks of the current
+    // specialization class clusters the specializable blocks into the
+    // fewest contiguous runs — ideally the whole phase becomes one
+    // compiled unit. Multiple writers of one token keep their relative
+    // order from the baseline schedule via writer->writer chain edges.
+    const auto &blocks = elab_->blocks;
+    const std::vector<int> &base = elab_->combOrder;
+    std::vector<int> pos(blocks.size(), -1);
+    for (size_t i = 0; i < base.size(); ++i)
+        pos[base[i]] = static_cast<int>(i);
+
+    const size_t ntokens = elab_->nets.size() + elab_->arrays.size();
+    std::vector<std::vector<int>> writers(ntokens);
+    for (int b : base) {
+        for (int tok : blocks[b].writes)
+            writers[tok].push_back(b);
+    }
+    std::vector<std::vector<int>> succ(blocks.size());
+    std::vector<int> indeg(blocks.size(), 0);
+    auto addEdge = [&](int a, int b) {
+        if (a == b)
+            return;
+        succ[a].push_back(b);
+        ++indeg[b];
+    };
+    for (int b : base) {
+        for (int tok : blocks[b].reads) {
+            for (int wtr : writers[tok])
+                addEdge(wtr, b);
+        }
+    }
+    for (const auto &ws : writers) {
+        for (size_t i = 1; i < ws.size(); ++i)
+            addEdge(ws[i - 1], ws[i]);
+    }
+
+    auto later = [&](int a, int b) { return pos[a] > pos[b]; };
+    using Queue = std::priority_queue<int, std::vector<int>, decltype(later)>;
+    Queue ready[2] = {Queue(later), Queue(later)};
+    for (int b : base) {
+        if (indeg[b] == 0)
+            ready[can[b] ? 1 : 0].push(b);
+    }
+    std::vector<int> order;
+    order.reserve(base.size());
+    int cls = 1;
+    while (order.size() < base.size()) {
+        if (ready[cls].empty()) {
+            if (ready[1 - cls].empty())
+                break;
+            cls = 1 - cls;
+        }
+        int b = ready[cls].top();
+        ready[cls].pop();
+        order.push_back(b);
+        for (int s : succ[b]) {
+            if (--indeg[s] == 0)
+                ready[can[s] ? 1 : 0].push(s);
+        }
+    }
+    if (order.size() != base.size())
+        return base; // defensive: fall back to the baseline order
+    return order;
+}
+
+void
+SimulationTool::specializeDesign(const std::vector<char> &can)
+{
+    Stopwatch sw;
+    // Native whole-design schedule: cluster the specializable blocks
+    // with a class-aware levelization, fuse each contiguous run into
+    // one emitted unit, and translate the flop phase itself.
+    std::vector<CppUnit> units;
+    auto addNativeStep = [&](const std::vector<int> &run,
+                             std::vector<Step> &out, bool seq) {
+        Step step;
+        step.kind = Step::Kind::Native;
+        step.block = run.front();
+        step.group = static_cast<int>(units.size());
+        step.sequential = seq;
+        const ElabBlock &blk = elab_->blocks[run.front()];
+        step.reads = &blk.reads; // unused on the pure-arena path
+        step.writes = &blk.writes;
+        CppUnit unit;
+        for (int b : run)
+            unit.items.push_back(CppUnit::Item{b, -1});
+        units.push_back(std::move(unit));
+        out.push_back(step);
+    };
+    auto buildSteps = [&](const std::vector<int> &order,
+                          std::vector<Step> &out, bool seq) {
+        std::vector<int> run;
+        for (int b : order) {
+            if (can[b]) {
+                run.push_back(b);
+                continue;
+            }
+            if (!run.empty()) {
+                addNativeStep(run, out, seq);
+                run.clear();
+            }
+            out.push_back(makeStep(b));
+        }
+        if (!run.empty())
+            addNativeStep(run, out, seq);
+    };
+    buildSteps(designCombOrder(can), design_comb_steps_, false);
+    buildSteps(elab_->tickOrder, design_tick_steps_, true);
+
+    // The flop phase as straight-line next->current copies of every
+    // statically flopped net. Nets registered dynamically later (a
+    // lambda's writeNext) stay on the host loop — see doFlop.
+    n_static_flops_ = flopped_nets_.size();
+    CppUnit flop_unit;
+    for (int net : flopped_nets_)
+        flop_unit.items.push_back(CppUnit::Item{-1, net});
+    design_flop_unit_ = static_cast<int>(units.size());
+    units.push_back(flop_unit);
+
+    // When every tick and comb block fused, also emit one whole-cycle
+    // step() entry point — ticks, flops, settle in a single call.
+    bool comb_native =
+        design_comb_steps_.empty() ||
+        (design_comb_steps_.size() == 1 &&
+         design_comb_steps_[0].kind == Step::Kind::Native);
+    bool tick_native =
+        design_tick_steps_.empty() ||
+        (design_tick_steps_.size() == 1 &&
+         design_tick_steps_[0].kind == Step::Kind::Native);
+    if (comb_native && tick_native) {
+        CppUnit step_unit;
+        if (!design_tick_steps_.empty())
+            step_unit.items = units[design_tick_steps_[0].group].items;
+        step_unit.items.insert(step_unit.items.end(),
+                               flop_unit.items.begin(),
+                               flop_unit.items.end());
+        if (!design_comb_steps_.empty()) {
+            const auto &comb = units[design_comb_steps_[0].group].items;
+            step_unit.items.insert(step_unit.items.end(), comb.begin(),
+                                   comb.end());
+        }
+        design_step_unit_ = static_cast<int>(units.size());
+        units.push_back(std::move(step_unit));
+    }
+
+    design_source_ = cppEmitProgram(*elab_, *arena_, units);
+    design_nunits_ = static_cast<int>(units.size());
+    spec_stats_.codegenSeconds += sw.elapsed();
+    spec_stats_.tiered = cfg_.jit_tiered;
+
+    std::string cache_dir = cfg_.jit_cache_dir.empty()
+                                ? CppJit::defaultCacheDir()
+                                : cfg_.jit_cache_dir;
+    if (!cfg_.jit_tiered) {
+        CppJit jit(cache_dir, cfg_.jit_cache, CppJit::kWholeDesignFlags);
+        cpp_lib_ = jit.compile(design_source_, design_nunits_);
+        adoptNativeTier();
+        return;
+    }
+    // Tiered warm-up: keep simulating on the bytecode schedule while
+    // the compiler runs; maybeSwapTier() adopts the module at the next
+    // cycle boundary after the thread finishes.
+    jit_thread_ = std::thread([this, cache_dir] {
+        try {
+            CppJit jit(cache_dir, cfg_.jit_cache,
+                       CppJit::kWholeDesignFlags);
+            pending_lib_ = jit.compile(design_source_, design_nunits_);
+        } catch (...) {
+            jit_error_ = std::current_exception();
+        }
+        jit_ready_.store(true, std::memory_order_release);
+    });
+}
+
+void
+SimulationTool::adoptNativeTier()
+{
+    spec_stats_.compileSeconds = cpp_lib_.compileSeconds();
+    spec_stats_.wrapSeconds = cpp_lib_.wrapSeconds();
+    spec_stats_.cacheHit = cpp_lib_.cacheHit();
+    spec_stats_.numGroups = design_nunits_;
+    spec_stats_.tierSwapCycle = static_cast<int64_t>(ncycles_);
+    active_comb_ = &design_comb_steps_;
+    active_tick_ = &design_tick_steps_;
+    design_native_ = true;
+}
+
+void
+SimulationTool::maybeSwapTier()
+{
+    if (!designMode() || design_native_ || tier_failed_ ||
+        !cfg_.jit_tiered)
+        return;
+    if (!jit_ready_.load(std::memory_order_acquire))
+        return;
+    if (jit_thread_.joinable())
+        jit_thread_.join();
+    if (jit_error_) {
+        // Report the failure once; the bytecode tier stays active (it
+        // is correct, just slower), so a caller may swallow this and
+        // keep simulating.
+        tier_failed_ = true;
+        std::exception_ptr err = jit_error_;
+        jit_error_ = nullptr;
+        std::rethrow_exception(err);
+    }
+    cpp_lib_ = std::move(pending_lib_);
+    adoptNativeTier();
+}
+
+bool
+SimulationTool::tierPending() const
+{
+    return designMode() && cfg_.jit_tiered && !design_native_ &&
+           !tier_failed_;
 }
 
 void
@@ -518,7 +863,7 @@ SimulationTool::settle()
         }
         worklist_.clear();
     } else {
-        for (const Step &step : comb_steps_)
+        for (const Step &step : *active_comb_)
             runStep(step, nullptr);
     }
     dirty_ = false;
@@ -527,12 +872,22 @@ SimulationTool::settle()
 void
 SimulationTool::cycle()
 {
+    maybeSwapTier();
     if (probe_) {
         cycleProfiled();
+    } else if (design_native_ && design_step_unit_ >= 0 &&
+               flopped_nets_.size() == n_static_flops_) {
+        // Whole cycle in one native call: ticks, flops, settle. Legal
+        // only while no dynamically registered flops exist; settle()
+        // here runs no lambdas (everything fused), so the flop set
+        // cannot change under us.
+        if (dirty_)
+            settle();
+        cpp_lib_.group(design_step_unit_)(arena_->data());
     } else {
         if (eventDriven() || dirty_)
             settle();
-        for (const Step &step : tick_steps_)
+        for (const Step &step : *active_tick_)
             runStep(step, nullptr);
         std::vector<int> changed;
         doFlop(eventDriven() ? &changed : nullptr);
@@ -557,7 +912,7 @@ SimulationTool::cycleProfiled()
     p->settle_seconds += sw.elapsed();
 
     sw.restart();
-    for (const Step &step : tick_steps_)
+    for (const Step &step : *active_tick_)
         runStep(step, nullptr);
     p->tick_seconds += sw.elapsed();
 
@@ -578,6 +933,7 @@ SimulationTool::cycleProfiled()
 void
 SimulationTool::eval()
 {
+    maybeSwapTier();
     if (ScopeProbe *p = probe_) {
         Stopwatch sw;
         settle();
@@ -590,6 +946,17 @@ SimulationTool::eval()
 void
 SimulationTool::doFlop(std::vector<int> *changed)
 {
+    if (design_native_) {
+        // Statically flopped nets are copied by the compiled flop
+        // unit; the host loop covers only the dynamically registered
+        // tail. cpp-design is never event-driven, so no change
+        // notification is needed.
+        (void)changed;
+        cpp_lib_.group(design_flop_unit_)(arena_->data());
+        for (size_t i = n_static_flops_; i < flopped_nets_.size(); ++i)
+            arena_->flop(flopped_nets_[i]);
+        return;
+    }
     for (int net : flopped_nets_) {
         bool ch = tokenInArena(net) ? arena_->flop(net)
                                     : boxed_->flop(net);

@@ -37,9 +37,12 @@
 #ifndef CMTL_CORE_SIM_H
 #define CMTL_CORE_SIM_H
 
+#include <atomic>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "ir_bytecode.h"
@@ -50,10 +53,18 @@
 
 namespace cmtl {
 
-/** Host-execution strategy (the CPython/PyPy axis). */
+/**
+ * Host-execution strategy (the CPython/PyPy axis).
+ * @deprecated Set SimConfig::backend instead; kept so existing call
+ * sites compile (resolved into a Backend by SimConfig::resolve()).
+ */
 enum class ExecMode { Interp, OptInterp };
 
-/** Specialization strategy (the SimJIT axis). */
+/**
+ * Specialization strategy (the SimJIT axis).
+ * @deprecated Set SimConfig::backend instead; kept so existing call
+ * sites compile (resolved into a Backend by SimConfig::resolve()).
+ */
 enum class SpecMode { None, Bytecode, Cpp };
 
 /** Combinational scheduling policy. */
@@ -64,11 +75,42 @@ enum class SchedMode
     Static, //!< statically levelized (rejects combinational cycles)
 };
 
+/**
+ * Unified backend descriptor: the one front door that replaces the
+ * ExecMode x SpecMode matrix. Canonical strings (SimConfig::toString /
+ * fromString round-trip):
+ *
+ *   "interp"      boxed storage, event-driven, tree-walk  ("CPython")
+ *   "optinterp"   arena storage, static levelized schedule  ("PyPy")
+ *   "bytecode"    arena + per-block register bytecode     ("SimJIT")
+ *   "cpp-block"   per-block compiled C++, one C-ABI call per block
+ *                 per phase (the paper's per-component SimJIT)
+ *   "cpp-design"  the whole elaborated design fused into a single
+ *                 compiled translation unit with tiered warm-up:
+ *                 the simulator starts on the bytecode tier and
+ *                 hot-swaps to the native module at a cycle boundary
+ *                 when the background compile finishes
+ *
+ * Hybrid boxed-host configurations keep their own spellings:
+ * "interp+bytecode" and "interp+cpp-block" (specialized blocks run on
+ * the arena, every entry/exit crosses the boxed<->arena marshal
+ * boundary — the CFFI overhead configuration of the paper).
+ */
+enum class Backend
+{
+    Auto,      //!< derive from the deprecated exec/spec fields
+    Interp,    //!< "interp"
+    OptInterp, //!< "optinterp"
+    Bytecode,  //!< "bytecode" (exec selects the hybrid variant)
+    CppBlock,  //!< "cpp-block" (exec selects the hybrid variant)
+    CppDesign, //!< "cpp-design" (always arena-hosted)
+};
+
 /** Simulator configuration. */
 struct SimConfig
 {
-    ExecMode exec = ExecMode::OptInterp;
-    SpecMode spec = SpecMode::None;
+    ExecMode exec = ExecMode::OptInterp; //!< @deprecated use backend
+    SpecMode spec = SpecMode::None;      //!< @deprecated use backend
     SchedMode sched = SchedMode::Auto;
     std::string jit_cache_dir; //!< empty = CppJit::defaultCacheDir()
     bool jit_cache = true;     //!< reuse compiled libraries on disk
@@ -77,6 +119,36 @@ struct SimConfig
      * 1 = the sequential kernel below; makeSimulator() dispatches.
      */
     int threads = 1;
+    /**
+     * The unified backend selector. Auto derives the backend from the
+     * deprecated exec/spec pair, so legacy configurations keep their
+     * exact meaning; any other value overrides exec/spec.
+     */
+    Backend backend = Backend::Auto;
+    /**
+     * cpp-design only: run on the bytecode tier while the compiler
+     * runs in a background thread, hot-swapping at a cycle boundary
+     * (false = block in the constructor until the module is built).
+     */
+    bool jit_tiered = true;
+
+    /**
+     * Normalize the config in place: derive backend from exec/spec
+     * when Auto, otherwise project the backend onto the deprecated
+     * fields so legacy code reading them keeps working. Idempotent;
+     * simulators call this on construction.
+     */
+    void resolve();
+
+    /** Canonical backend string ("cpp-design", "interp+bytecode", ...). */
+    std::string toString() const;
+
+    /**
+     * Parse a canonical backend string (accepts the deprecated alias
+     * "cpp" for "cpp-block"). Other fields take their defaults.
+     * Throws std::invalid_argument on an unknown name.
+     */
+    static SimConfig fromString(const std::string &name);
 };
 
 /**
@@ -150,6 +222,10 @@ struct SpecStats
     int numBlocks = 0;
     int numSpecialized = 0;
     int numGroups = 0;
+    /** cpp-design: cycle at which the native tier was swapped in
+     *  (0 = before the first cycle, -1 = still on the warm-up tier). */
+    int64_t tierSwapCycle = -1;
+    bool tiered = false; //!< cpp-design with background compilation
 };
 
 /**
@@ -168,7 +244,9 @@ class Simulator : public SignalAccess
   public:
     Simulator(std::shared_ptr<Elaboration> elab, SimConfig cfg)
         : elab_(std::move(elab)), cfg_(cfg)
-    {}
+    {
+        cfg_.resolve();
+    }
 
     /** Advance one clock cycle. */
     virtual void cycle() = 0;
@@ -181,6 +259,13 @@ class Simulator : public SignalAccess
 
     uint64_t numCycles() const { return ncycles_; }
     const SpecStats &specStats() const { return spec_stats_; }
+
+    /**
+     * True while a tiered cpp-design simulator is still executing on
+     * the bytecode warm-up tier (the background compile has not been
+     * adopted yet). Benches drain this before measuring steady state.
+     */
+    virtual bool tierPending() const { return false; }
     const Elaboration &elaboration() const { return *elab_; }
     const SimConfig &config() const { return cfg_; }
 
@@ -239,6 +324,8 @@ class SimulationTool : public Simulator
     void writeArray(MemArray &array, uint64_t index,
                     const Bits &value) override;
 
+    bool tierPending() const override;
+
     // --- SignalAccess ----------------------------------------------
     Bits read(const Signal &sig) const override;
     void write(Signal &sig, const Bits &value) override;
@@ -259,9 +346,15 @@ class SimulationTool : public Simulator
 
     bool useBoxed() const { return cfg_.exec == ExecMode::Interp; }
     bool eventDriven() const { return event_driven_; }
+    bool designMode() const { return cfg_.backend == Backend::CppDesign; }
 
+    Step makeStep(int idx) const;
     void buildSchedule();
     void specialize();
+    void specializeDesign(const std::vector<char> &can);
+    std::vector<int> designCombOrder(const std::vector<char> &can) const;
+    void adoptNativeTier();
+    void maybeSwapTier();
     void runStep(const Step &step, std::vector<int> *changed);
     void runStepImpl(const Step &step, std::vector<int> *changed);
     void cycleProfiled();
@@ -299,6 +392,29 @@ class SimulationTool : public Simulator
     std::vector<Step> comb_steps_; //!< static order (or event pool)
     std::vector<Step> tick_steps_;
     std::vector<int> comb_step_of_block_; //!< block idx -> comb step idx
+
+    // --- cpp-design tiering ----------------------------------------
+    // Tier 0 runs the bytecode schedule in comb_steps_/tick_steps_;
+    // the native whole-design schedule below is adopted by swinging
+    // the active_* pointers at a cycle boundary once the background
+    // compile lands. Bit-identical by construction: the native order
+    // is a valid topological order of the same blocks and the flop
+    // unit copies exactly the statically flopped nets.
+    std::vector<Step> design_comb_steps_;
+    std::vector<Step> design_tick_steps_;
+    std::vector<Step> *active_comb_ = &comb_steps_;
+    std::vector<Step> *active_tick_ = &tick_steps_;
+    std::string design_source_;
+    int design_nunits_ = 0;
+    int design_flop_unit_ = -1;
+    int design_step_unit_ = -1; //!< fused whole-cycle entry, or -1
+    size_t n_static_flops_ = 0;
+    bool design_native_ = false;
+    bool tier_failed_ = false;
+    std::thread jit_thread_;
+    std::atomic<bool> jit_ready_{false};
+    CppJitLibrary pending_lib_;
+    std::exception_ptr jit_error_;
 
     std::vector<BcProgram> bc_programs_; //!< per specialized block
     std::vector<uint64_t> bc_scratch_;

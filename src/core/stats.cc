@@ -13,16 +13,30 @@ simulatorReport(const Simulator &sim)
 {
     std::ostringstream os;
     const SimConfig &cfg = sim.config();
-    os << "simulator: "
-       << (cfg.exec == ExecMode::Interp ? "Interp" : "OptInterp") << " x "
-       << (cfg.spec == SpecMode::None       ? "None"
-           : cfg.spec == SpecMode::Bytecode ? "Bytecode"
-                                            : "Cpp")
-       << ", threads " << cfg.threads << "\n";
+    // The canonical backend string — the same spelling SimConfig
+    // round-trips and SimScope snapshots carry, so text and JSON
+    // reports agree on what ran.
+    os << "simulator: backend " << cfg.toString() << ", threads "
+       << cfg.threads << "\n";
     const SpecStats &spec = sim.specStats();
     os << "  blocks: " << spec.numBlocks << " total, "
        << spec.numSpecialized << " specialized in " << spec.numGroups
        << " group(s)\n";
+    if (spec.tiered) {
+        char buf[160];
+        if (sim.tierPending()) {
+            os << "  tier: bytecode warm-up (native compile in "
+                  "flight)\n";
+        } else {
+            std::snprintf(buf, sizeof(buf),
+                          "  tier: native since cycle %lld (compile "
+                          "%.3fs%s)\n",
+                          static_cast<long long>(spec.tierSwapCycle),
+                          spec.compileSeconds,
+                          spec.cacheHit ? ", cache hit" : "");
+            os << buf;
+        }
+    }
     if (const auto *par = dynamic_cast<const ParSimulationTool *>(&sim))
         os << partitionReport(sim.elaboration(), par->plan());
     if (const ScopeProbe *p = sim.scopeProbe()) {

@@ -1,0 +1,109 @@
+#include "options.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+namespace cmtl {
+namespace stdlib {
+
+namespace {
+
+/** "--name=value" / "--name value" accessor; empty when absent. */
+bool
+optionValue(const char *name, int argc, char **argv, int &i,
+            std::string &out)
+{
+    const char *arg = argv[i];
+    size_t n = std::strlen(name);
+    if (std::strncmp(arg, name, n) != 0)
+        return false;
+    if (arg[n] == '=') {
+        out = arg + n + 1;
+        return true;
+    }
+    if (arg[n] == '\0' && i + 1 < argc) {
+        out = argv[++i];
+        return true;
+    }
+    return false;
+}
+
+bool
+isLevelToken(const char *arg)
+{
+    return !std::strcmp(arg, "fl") || !std::strcmp(arg, "cl") ||
+           !std::strcmp(arg, "clspec") || !std::strcmp(arg, "rtl");
+}
+
+} // namespace
+
+const char *
+SimOptions::usage()
+{
+    return "[--backend=interp|optinterp|bytecode|cpp-block|cpp-design]"
+           " [--threads=N] [--profile[=json]] [--level=fl|cl|clspec|rtl]"
+           " [--full]";
+}
+
+SimOptions
+SimOptions::parse(int argc, char **argv)
+{
+    SimOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        std::string value;
+        if (optionValue("--backend", argc, argv, i, value)) {
+            try {
+                SimConfig parsed = SimConfig::fromString(value);
+                opts.cfg.backend = parsed.backend;
+                opts.cfg.exec = parsed.exec;
+                opts.cfg.spec = parsed.spec;
+                opts.backend_set = true;
+            } catch (const std::invalid_argument &e) {
+                std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+                std::exit(2);
+            }
+        } else if (optionValue("--threads", argc, argv, i, value)) {
+            opts.threads = std::atoi(value.c_str());
+            if (opts.threads < 1) {
+                std::fprintf(stderr, "%s: --threads wants a positive "
+                                     "integer, got '%s'\n",
+                             argv[0], value.c_str());
+                std::exit(2);
+            }
+            opts.cfg.threads = opts.threads;
+        } else if (!std::strcmp(argv[i], "--profile")) {
+            opts.profile = true;
+        } else if (!std::strcmp(argv[i], "--profile=json")) {
+            opts.profile = opts.profile_json = true;
+        } else if (optionValue("--level", argc, argv, i, value)) {
+            opts.level = value;
+        } else if (isLevelToken(argv[i])) {
+            opts.level = argv[i];
+        } else if (!std::strcmp(argv[i], "--full")) {
+            opts.full = true;
+        } else {
+            opts.positional.emplace_back(argv[i]);
+        }
+    }
+    if (!opts.full) {
+        const char *env = std::getenv("CMTL_BENCH_FULL");
+        opts.full = env && env[0] == '1';
+    }
+    return opts;
+}
+
+int
+SimOptions::intArg(int dflt) const
+{
+    for (const std::string &arg : positional) {
+        int v = std::atoi(arg.c_str());
+        if (v > 0)
+            return v;
+    }
+    return dflt;
+}
+
+} // namespace stdlib
+} // namespace cmtl

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * SimOptions: the shared command-line front door of the examples and
+ * benches.
+ *
+ * Every runnable binary used to hand-roll the same strcmp chains for
+ * --threads/--profile/--level; this helper parses the common options
+ * once and — the point of the exercise — adds `--backend=<str>` with
+ * the canonical SimConfig::fromString() names everywhere:
+ *
+ *   --backend=<b>     interp | optinterp | bytecode | cpp-block |
+ *                     cpp-design | interp+bytecode | interp+cpp-block
+ *   --threads=<n>     >1 selects the parallel ParSim kernel
+ *   --profile[=json]  attach SimScope (json = machine-readable)
+ *   --level=<l>       abstraction level (fl|cl|clspec|rtl); the bare
+ *                     token spelling is accepted too
+ *   --full            paper-scale bench parameters (or CMTL_BENCH_FULL=1)
+ *
+ * `--threads N` / `--backend b` (separate argument) spellings are
+ * accepted as well. Unrecognized arguments are collected in
+ * `positional` for the binary's own use (e.g. a problem size). An
+ * unknown backend name prints the expected names and exits(2) —
+ * callers never see a throw.
+ */
+
+#ifndef CMTL_STDLIB_OPTIONS_H
+#define CMTL_STDLIB_OPTIONS_H
+
+#include <string>
+#include <vector>
+
+#include "core/sim.h"
+
+namespace cmtl {
+namespace stdlib {
+
+struct SimOptions
+{
+    /** Ready-to-use config: backend and threads already applied. */
+    SimConfig cfg;
+    bool backend_set = false; //!< --backend was given explicitly
+    int threads = 1;
+    bool profile = false;
+    bool profile_json = false;
+    bool full = false;        //!< --full or CMTL_BENCH_FULL=1
+    std::string level;        //!< "" when absent
+    std::vector<std::string> positional;
+
+    /** Parse argv (argv[0] is skipped); see the file comment. */
+    static SimOptions parse(int argc, char **argv);
+
+    /** First positional that parses as a positive integer, or @p dflt. */
+    int intArg(int dflt) const;
+
+    /** One-line usage fragment for the common options. */
+    static const char *usage();
+};
+
+} // namespace stdlib
+} // namespace cmtl
+
+#endif // CMTL_STDLIB_OPTIONS_H
