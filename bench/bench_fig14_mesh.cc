@@ -201,6 +201,41 @@ main(int argc, char **argv)
         }
     }
     json.endArray();
+
+    // Checkpoint cost and warm start (SimSnap): snapshot the RTL mesh
+    // at a fixed cycle, restore into a fresh simulator and measure the
+    // steady-state rate from there — the "resume a long run" point.
+    rule('=');
+    std::printf("checkpoint/warm start (RTL mesh, interp)\n");
+    rule('=');
+    WarmStartResult ws = measureWarmStart(
+        [&] {
+            static std::unique_ptr<MeshTrafficTop> top;
+            top = std::make_unique<MeshTrafficTop>(
+                "top", NetLevel::RTL, kNodes, kEntries, kInjection, 1);
+            auto elab = top->elaborate();
+            return std::unique_ptr<Simulator>(
+                std::make_unique<SimulationTool>(elab,
+                                                 modes.front().cfg));
+        },
+        full ? 5000 : 1000, full ? 2.0 : 1.0);
+    std::printf("snapshot at cycle %llu: %llu bytes, %.2f ms capture, "
+                "%.2f ms restore\nwarm-start rate %.0f cycles/s\n",
+                static_cast<unsigned long long>(ws.snap_cycle),
+                static_cast<unsigned long long>(ws.snapshot_bytes),
+                ws.snapshot_ms, ws.restore_ms, ws.cycles_per_second);
+    json.key("checkpoint").beginObject();
+    json.field("level", "rtl");
+    json.field("backend", modes.front().cfg.toString());
+    json.field("snap_cycle", ws.snap_cycle);
+    json.field("snapshot_bytes", ws.snapshot_bytes);
+    json.field("snapshot_ms", ws.snapshot_ms);
+    json.field("restore_ms", ws.restore_ms);
+    json.key("warm_start").beginObject();
+    json.field("cycles_per_second", ws.cycles_per_second);
+    json.endObject();
+    json.endObject();
+
     json.endObject();
     std::printf("wrote BENCH_fig14_mesh.json\n");
     return 0;

@@ -24,6 +24,7 @@
 
 #include "core/scope.h"
 #include "core/sim.h"
+#include "core/snap.h"
 #include "core/timing.h"
 #include "stdlib/options.h"
 
@@ -154,6 +155,57 @@ measureRate(const std::function<std::unique_ptr<Simulator>()> &make,
     // Read spec stats after the run: a tiered backend fills in its
     // compile time and tier-swap cycle only once the swap happens.
     out.spec = sim->specStats();
+    return out;
+}
+
+/** Result of a checkpoint/warm-start measurement. */
+struct WarmStartResult
+{
+    uint64_t snap_cycle = 0;      //!< cycle the snapshot was taken at
+    uint64_t snapshot_bytes = 0;  //!< encoded image size
+    double snapshot_ms = 0.0;     //!< capture + encode wall time
+    double restore_ms = 0.0;      //!< decode + restore wall time
+    /** Steady-state rate of the restored (warm-started) run. */
+    double cycles_per_second = 0.0;
+};
+
+/**
+ * Measure SimSnap checkpoint cost and the warm-start rate: run a
+ * simulator to @p snap_cycle, snapshot it, then restore the image into
+ * a *second* fresh simulator and time its steady-state rate from
+ * there. The first simulator is destroyed before the second is made,
+ * because bench factories replace a function-static top model.
+ */
+inline WarmStartResult
+measureWarmStart(const std::function<std::unique_ptr<Simulator>()> &make,
+                 uint64_t snap_cycle = 5000, double budget_seconds = 1.0)
+{
+    WarmStartResult out;
+    out.snap_cycle = snap_cycle;
+
+    std::unique_ptr<Simulator> sim = make();
+    sim->cycle(snap_cycle);
+    Stopwatch snap_sw;
+    std::string image = snapSave(*sim).encode();
+    out.snapshot_ms = snap_sw.elapsed() * 1e3;
+    out.snapshot_bytes = image.size();
+    sim.reset();
+
+    std::unique_ptr<Simulator> resumed = make();
+    Stopwatch restore_sw;
+    snapRestore(*resumed, SimSnapshot::decode(image));
+    out.restore_ms = restore_sw.elapsed() * 1e3;
+
+    resumed->cycle(64);
+    uint64_t chunk = 256, cycles = 0;
+    Stopwatch timer;
+    while (timer.elapsed() < budget_seconds) {
+        resumed->cycle(chunk);
+        cycles += chunk;
+        if (timer.elapsed() < budget_seconds / 8)
+            chunk *= 2;
+    }
+    out.cycles_per_second = static_cast<double>(cycles) / timer.elapsed();
     return out;
 }
 

@@ -11,12 +11,19 @@
  * tiles take realistically many, all in one simulation.
  *
  * Usage: heterogeneous_system [n] [--backend=<b>] [--profile[=json]]
+ *                             [--vcd=path] [--checkpoint=path[:N]]
+ *                             [--resume=path]
  *
  * --backend selects the execution backend by its canonical name
  * (interp, optinterp, bytecode, cpp-block, cpp-design, ...). With
  * --profile the whole run is SimScope-instrumented and ends with
  * the hot-block ranking and val/rdy channel stats; --profile=json
  * emits the machine-readable snapshot as the last line instead.
+ *
+ * --checkpoint / --resume capture and restore the simulation state
+ * (core/snap.h). Mixed-level tiles carry FL/CL host state outside the
+ * net list; models that do not serialize it are reported at resume
+ * time, so a digest mismatch after restoring is attributable.
  */
 
 #include <cstdio>
@@ -24,6 +31,8 @@
 
 #include "core/scope.h"
 #include "core/sim.h"
+#include "core/snap.h"
+#include "core/vcd.h"
 #include "stdlib/options.h"
 #include "tile/multitile.h"
 
@@ -55,19 +64,59 @@ main(int argc, char **argv)
         scope = std::make_unique<SimScope>(sim);
         scope->traceAllValRdy();
     }
-    sim.reset();
+
+    if (!opts.checkpoint_path.empty() || !opts.resume.empty()) {
+        // The processor tiles keep FL/CL host state outside the net
+        // list and (unlike the network models) do not serialize it, so
+        // say which models a checkpoint cannot carry before relying on
+        // one.
+        auto opaque = opaqueStateModels(*elab);
+        if (!opaque.empty()) {
+            std::printf("note: %zu model(s) carry unserialized host "
+                        "state (first: %s); checkpoints of this design "
+                        "restore nets/arrays only\n",
+                        opaque.size(), opaque.front().c_str());
+        }
+    }
+    try {
+        if (!opts.resume.empty()) {
+            SimSnapshot snap = snapLoadFile(opts.resume);
+            snapRestore(sim, snap);
+            std::printf("resumed %s at cycle %llu (digest %016llx)\n",
+                        opts.resume.c_str(),
+                        static_cast<unsigned long long>(snap.cycle),
+                        static_cast<unsigned long long>(snap.digest()));
+        } else {
+            sim.reset();
+        }
+    } catch (const SnapError &e) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+        return 1;
+    }
+
+    // Waveform and checkpoint writers attach after any restore so the
+    // VCD timestamps continue the original waveform exactly.
+    std::unique_ptr<VcdWriter> vcd;
+    if (!opts.vcd.empty())
+        vcd = std::make_unique<VcdWriter>(sim, opts.vcd);
+    CheckpointManager ckpt(opts.checkpoint_path, opts.checkpoint_every);
+    if (!opts.checkpoint_path.empty()) {
+        ckpt.attach(sim);
+        std::printf("checkpointing to %s every %llu cycles\n",
+                    ckpt.path().c_str(),
+                    static_cast<unsigned long long>(ckpt.everyCycles()));
+    }
 
     std::printf("3 heterogeneous tiles, %dx%d mvmult each, shared "
                 "memory over the network\n\n",
                 n, n);
+    uint64_t max_cycles = opts.cycles ? opts.cycles : 10000000;
     std::vector<uint64_t> halted_at(levels.size(), 0);
-    uint64_t cycles = 0;
-    while (!sys.allHalted() && cycles < 10000000) {
+    while (!sys.allHalted() && sim.numCycles() < max_cycles) {
         sim.cycle();
-        ++cycles;
         for (int t = 0; t < sys.numTiles(); ++t) {
             if (halted_at[t] == 0 && sys.tile(t).halted())
-                halted_at[t] = cycles;
+                halted_at[t] = sim.numCycles();
         }
     }
     sim.cycle(500);

@@ -9,6 +9,8 @@
  *
  * Usage: mesh_network [fl|cl|clspec|rtl] [nrouters]
  *                     [--backend=<b>] [--threads N] [--profile[=json]]
+ *                     [--cycles=N] [--vcd=path]
+ *                     [--checkpoint=path[:N]] [--resume=path]
  *
  * --backend selects the execution backend by its canonical name
  * (interp, optinterp, bytecode, cpp-block, cpp-design, ...); the
@@ -19,6 +21,12 @@
  * hot-block ranking, phase timing and val/rdy channel stats;
  * --profile=json emits the machine-readable snapshot as the last
  * line of output instead.
+ *
+ * With --checkpoint and/or --resume the program switches to a single
+ * long fixed-seed run (30% injection) that periodically snapshots its
+ * complete state and/or restores it: kill the run at any point and
+ * resume from the latest checkpoint — on any backend or thread count —
+ * and the final state digest is identical to the uninterrupted run's.
  */
 
 #include <cstdio>
@@ -26,6 +34,7 @@
 #include "core/psim.h"
 #include "core/scope.h"
 #include "core/sim.h"
+#include "core/snap.h"
 #include "core/stats.h"
 #include "core/vcd.h"
 #include "net/traffic.h"
@@ -34,6 +43,62 @@
 using namespace cmtl;
 using namespace cmtl::net;
 using cmtl::stdlib::SimOptions;
+
+namespace {
+
+/**
+ * Checkpoint / crash-resume mode. The run is deterministic (fixed
+ * seed), so the digest printed at the final cycle must match between
+ * an uninterrupted run and any snapshot-resumed continuation.
+ */
+int
+runCheckpointMode(const SimOptions &opts, NetLevel level, int nrouters)
+{
+    uint64_t cycles = opts.cycles ? opts.cycles : 8000;
+    auto top = std::make_unique<MeshTrafficTop>("top", level, nrouters,
+                                                4, 0.30, 7);
+    auto elab = top->elaborate();
+    auto sim = makeSimulator(elab, opts.cfg);
+
+    if (!opts.resume.empty()) {
+        SimSnapshot snap = snapLoadFile(opts.resume);
+        snapRestore(*sim, snap);
+        std::printf("resumed %s at cycle %llu (digest %016llx)\n",
+                    opts.resume.c_str(),
+                    static_cast<unsigned long long>(snap.cycle),
+                    static_cast<unsigned long long>(snap.digest()));
+    }
+
+    // Attach the waveform writer after any restore so its initial
+    // dump (and timestamps) continue the original waveform exactly.
+    std::unique_ptr<VcdWriter> vcd;
+    if (!opts.vcd.empty())
+        vcd = std::make_unique<VcdWriter>(*sim, opts.vcd);
+
+    CheckpointManager ckpt(opts.checkpoint_path, opts.checkpoint_every);
+    if (!opts.checkpoint_path.empty()) {
+        ckpt.attach(*sim);
+        std::printf("checkpointing to %s every %llu cycles\n",
+                    ckpt.path().c_str(),
+                    static_cast<unsigned long long>(ckpt.everyCycles()));
+    }
+
+    while (sim->numCycles() < cycles)
+        sim->cycle();
+
+    std::printf("cycle %llu state digest %016llx\n",
+                static_cast<unsigned long long>(sim->numCycles()),
+                static_cast<unsigned long long>(stateDigest(*sim)));
+    std::printf("generated %llu injected %llu received %llu "
+                "avg latency %.2f\n",
+                static_cast<unsigned long long>(top->stats().generated),
+                static_cast<unsigned long long>(top->stats().injected),
+                static_cast<unsigned long long>(top->stats().received),
+                top->stats().avgLatency());
+    return 0;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -44,6 +109,15 @@ main(int argc, char **argv)
                      : opts.level == "rtl"    ? NetLevel::RTL
                                               : NetLevel::CL;
     int nrouters = opts.intArg(16);
+
+    if (!opts.checkpoint_path.empty() || !opts.resume.empty()) {
+        try {
+            return runCheckpointMode(opts, level, nrouters);
+        } catch (const SnapError &e) {
+            std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+            return 1;
+        }
+    }
     int threads = opts.threads;
     bool profile = opts.profile, profile_json = opts.profile_json;
     const SimConfig &cfg = opts.cfg;
@@ -94,13 +168,18 @@ main(int argc, char **argv)
     }
 
     // Waveform dump of a short RTL run (viewable with gtkwave).
-    std::printf("\ndumping mesh_network.vcd (RTL 2x2 mesh, 50 "
-                "cycles)...\n");
+    // --vcd overrides the artifact path; the default lands in the
+    // current directory (the build tree when run from there), and
+    // *.vcd is gitignored either way.
+    std::string vcd_path =
+        opts.vcd.empty() ? "mesh_network.vcd" : opts.vcd;
+    std::printf("\ndumping %s (RTL 2x2 mesh, 50 cycles)...\n",
+                vcd_path.c_str());
     auto top = std::make_unique<MeshTrafficTop>("top", NetLevel::RTL, 4,
                                                 2, 0.2, 3);
     auto elab = top->elaborate();
     SimulationTool sim(elab);
-    VcdWriter vcd(sim, "mesh_network.vcd");
+    VcdWriter vcd(sim, vcd_path);
     sim.cycle(50);
     std::printf("done.\n");
     return 0;

@@ -37,6 +37,8 @@
 namespace cmtl {
 
 class Model;
+class SnapWriter; // snap.h
+class SnapReader; // snap.h
 
 /** Kind of a concurrent block after elaboration. */
 enum class BlockKind { TickFl, TickCl, CombLambda, TickIr, CombIr };
@@ -195,6 +197,17 @@ class Model
 
     /** Per-cycle line-trace fragment (optional override). */
     virtual std::string lineTrace() const { return ""; }
+
+    /**
+     * Serialize host-side lambda-block state (SimSnap, snap.h).
+     * Models whose tickFl/tickCl/combLambda blocks carry state outside
+     * nets and arrays — RNGs, software queues, counters — override
+     * both so checkpoints capture the complete simulation; snapLoad
+     * must read exactly the bytes snapSave wrote. The defaults
+     * serialize nothing (fine for pure-IR models).
+     */
+    virtual void snapSave(SnapWriter &) const {}
+    virtual void snapLoad(SnapReader &) {}
 
     /**
      * Elaborate the hierarchy rooted at this model. Call once, on the

@@ -707,6 +707,51 @@ ParSimulationTool::writeNext(Signal &sig, const Bits &value)
         markMainFlop(net);
 }
 
+// ------------------------------------------- SimSnap state capture
+
+Bits
+ParSimulationTool::readNetNext(int net) const
+{
+    return replicaFor(net).readNext(net);
+}
+
+void
+ParSimulationTool::pokeNet(int net, const Bits &value)
+{
+    // Coordinator-side restore: mirror write(Signal&) — keep every
+    // replica coherent so any reader island sees the value.
+    bool changed = replicaFor(net).write(net, value);
+    for (auto &replica : replicas_)
+        replica->write(net, value);
+    if (changed)
+        dirty_ = true;
+}
+
+void
+ParSimulationTool::pokeNetNext(int net, const Bits &value)
+{
+    for (auto &replica : replicas_)
+        replica->writeNext(net, value);
+}
+
+std::vector<int>
+ParSimulationTool::dynamicFlopNets() const
+{
+    std::vector<int> out;
+    for (int net : main_flops_)
+        if (!elab_->nets[net].floppedStatic)
+            out.push_back(net);
+    return out;
+}
+
+void
+ParSimulationTool::registerDynamicFlops(const std::vector<int> &nets)
+{
+    for (int net : nets)
+        if (!static_island_flop_[net])
+            markMainFlop(net);
+}
+
 Bits
 ParSimulationTool::readArray(const MemArray &array, uint64_t index) const
 {

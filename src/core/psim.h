@@ -120,6 +120,12 @@ class ParSimulationTool : public Simulator
     void writeArray(MemArray &array, uint64_t index,
                     const Bits &value) override;
 
+    Bits readNetNext(int net) const override;
+    void pokeNet(int net, const Bits &value) override;
+    void pokeNetNext(int net, const Bits &value) override;
+    std::vector<int> dynamicFlopNets() const override;
+    void registerDynamicFlops(const std::vector<int> &nets) override;
+
     bool tierPending() const override;
 
     // --- SignalAccess ----------------------------------------------

@@ -1026,4 +1026,51 @@ SimulationTool::writeNext(Signal &sig, const Bits &value)
         boxed_->writeNext(net, value);
 }
 
+// ------------------------------------------- SimSnap state capture
+
+Bits
+SimulationTool::readNetNext(int net) const
+{
+    return tokenInArena(net) ? arena_->readNext(net)
+                             : boxed_->readNext(net);
+}
+
+void
+SimulationTool::pokeNet(int net, const Bits &value)
+{
+    bool ch = tokenInArena(net) ? arena_->write(net, value)
+                                : boxed_->write(net, value);
+    if (ch) {
+        dirty_ = true;
+        if (eventDriven())
+            enqueueReaders(net);
+    }
+}
+
+void
+SimulationTool::pokeNetNext(int net, const Bits &value)
+{
+    if (tokenInArena(net))
+        arena_->writeNext(net, value);
+    else
+        boxed_->writeNext(net, value);
+}
+
+std::vector<int>
+SimulationTool::dynamicFlopNets() const
+{
+    std::vector<int> out;
+    for (int net : flopped_nets_)
+        if (!elab_->nets[net].floppedStatic)
+            out.push_back(net);
+    return out;
+}
+
+void
+SimulationTool::registerDynamicFlops(const std::vector<int> &nets)
+{
+    for (int net : nets)
+        markFlopped(net);
+}
+
 } // namespace cmtl

@@ -296,6 +296,26 @@ class Simulator : public SignalAccess
     virtual void writeArray(MemArray &array, uint64_t index,
                             const Bits &value) = 0;
 
+    // --- SimSnap state-capture hooks (snap.h) ----------------------
+
+    /** Next-phase (flop shadow) value of a net. */
+    virtual Bits readNetNext(int net) const = 0;
+    /** Restore a net's current value (blocking-write semantics). */
+    virtual void pokeNet(int net, const Bits &value) = 0;
+    /**
+     * Restore a net's next-phase value WITHOUT registering the net as
+     * dynamically flopped the way writeNext() does — flop membership
+     * is restored separately through registerDynamicFlops(), so a
+     * restore never turns combinational nets into registers.
+     */
+    virtual void pokeNetNext(int net, const Bits &value) = 0;
+    /** Nets registered as flopped at run time by lambda writeNext. */
+    virtual std::vector<int> dynamicFlopNets() const = 0;
+    /** Re-register dynamically flopped nets on a fresh simulator. */
+    virtual void registerDynamicFlops(const std::vector<int> &nets) = 0;
+    /** Overwrite the cycle counter (snapshot restore only). */
+    void setRestoredCycleCount(uint64_t n) { ncycles_ = n; }
+
   protected:
     std::shared_ptr<Elaboration> elab_;
     SimConfig cfg_;
@@ -323,6 +343,12 @@ class SimulationTool : public Simulator
     Bits readArray(const MemArray &array, uint64_t index) const override;
     void writeArray(MemArray &array, uint64_t index,
                     const Bits &value) override;
+
+    Bits readNetNext(int net) const override;
+    void pokeNet(int net, const Bits &value) override;
+    void pokeNetNext(int net, const Bits &value) override;
+    std::vector<int> dynamicFlopNets() const override;
+    void registerDynamicFlops(const std::vector<int> &nets) override;
 
     bool tierPending() const override;
 

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "psim.h"
+#include "snap.h"
 
 namespace cmtl {
 
@@ -22,6 +23,16 @@ simulatorReport(const Simulator &sim)
     os << "  blocks: " << spec.numBlocks << " total, "
        << spec.numSpecialized << " specialized in " << spec.numGroups
        << " group(s)\n";
+    {
+        // The snapshot compatibility key (snap.h): two reports showing
+        // the same fingerprint can exchange checkpoints.
+        char buf[80];
+        std::snprintf(buf, sizeof(buf),
+                      "  design fingerprint %016llx\n",
+                      static_cast<unsigned long long>(
+                          designFingerprint(sim.elaboration())));
+        os << buf;
+    }
     if (spec.tiered) {
         char buf[160];
         if (sim.tierPending()) {

@@ -81,9 +81,12 @@ VcdWriter::emitValue(std::ostream &os, const Net &net, const Bits &value)
 void
 VcdWriter::dumpInitial()
 {
-    // The VCD spec wants an initial-value section at time zero so
-    // viewers know every variable's value before the first change.
-    out_ << "#0\n$dumpvars\n";
+    // The VCD spec wants an initial-value section so viewers know
+    // every variable's value before the first change. Anchoring it at
+    // the simulator's current time (zero for a fresh run) lets a
+    // writer attached to a snapshot-restored simulator produce a tail
+    // that continues the original waveform byte-for-byte.
+    out_ << "#" << sim_.numCycles() * 10 << "\n$dumpvars\n";
     for (const Net &net : sim_.elaboration().nets) {
         Bits value = sim_.readNet(net.id);
         last_[net.id] = value;

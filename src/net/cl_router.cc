@@ -1,5 +1,7 @@
 #include "cl_router.h"
 
+#include "core/snap.h"
+
 namespace cmtl {
 namespace net {
 
@@ -75,6 +77,50 @@ RouterCL::RouterCL(Model *parent, const std::string &name, int id,
             in_[p].rdy.setNext(uint64_t(room ? 1 : 0));
         }
     });
+}
+
+void
+RouterCL::snapSave(SnapWriter &w) const
+{
+    auto putDeques = [&w](const std::vector<std::deque<Bits>> &deques) {
+        for (const auto &dq : deques) {
+            w.u32(static_cast<uint32_t>(dq.size()));
+            for (const Bits &msg : dq)
+                w.bits(msg);
+        }
+    };
+    putDeques(inq_);
+    putDeques(staged_);
+    for (const auto &slot : outbuf_) {
+        w.u8(slot ? 1 : 0);
+        if (slot)
+            w.bits(*slot);
+    }
+    for (int ptr : rr_)
+        w.u32(static_cast<uint32_t>(ptr));
+}
+
+void
+RouterCL::snapLoad(SnapReader &r)
+{
+    auto getDeques = [&r](std::vector<std::deque<Bits>> &deques) {
+        for (auto &dq : deques) {
+            dq.clear();
+            uint32_t n = r.u32();
+            for (uint32_t i = 0; i < n; ++i)
+                dq.push_back(r.bits());
+        }
+    };
+    getDeques(inq_);
+    getDeques(staged_);
+    for (auto &slot : outbuf_) {
+        if (r.u8())
+            slot = r.bits();
+        else
+            slot.reset();
+    }
+    for (int &ptr : rr_)
+        ptr = static_cast<int>(r.u32());
 }
 
 std::string

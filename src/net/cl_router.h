@@ -39,6 +39,9 @@ class RouterCL : public Model
 
     std::string lineTrace() const override;
 
+    void snapSave(SnapWriter &w) const override;
+    void snapLoad(SnapReader &r) override;
+
   private:
     BitStructLayout msg_;
     int id_;

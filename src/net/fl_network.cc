@@ -1,5 +1,7 @@
 #include "fl_network.h"
 
+#include "core/snap.h"
+
 namespace cmtl {
 namespace net {
 
@@ -42,6 +44,34 @@ NetworkFL::NetworkFL(Model *parent, const std::string &name, int nrouters,
                 out[i].msg.setNext(output_fifos_[i].front());
         }
     });
+}
+
+void
+NetworkFL::snapSave(SnapWriter &w) const
+{
+    w.u32(static_cast<uint32_t>(output_fifos_.size()));
+    for (const auto &fifo : output_fifos_) {
+        w.u32(static_cast<uint32_t>(fifo.size()));
+        for (const Bits &msg : fifo)
+            w.bits(msg);
+    }
+}
+
+void
+NetworkFL::snapLoad(SnapReader &r)
+{
+    uint32_t nfifos = r.u32();
+    if (nfifos != output_fifos_.size())
+        throw SnapError("NetworkFL: snapshot has " +
+                        std::to_string(nfifos) +
+                        " output fifo(s), model has " +
+                        std::to_string(output_fifos_.size()));
+    for (auto &fifo : output_fifos_) {
+        fifo.clear();
+        uint32_t n = r.u32();
+        for (uint32_t i = 0; i < n; ++i)
+            fifo.push_back(r.bits());
+    }
 }
 
 } // namespace net

@@ -32,6 +32,9 @@ class NetworkFL : public Model
               int nmsgs, int payload_nbits, int nentries);
 
     int numTerminals() const { return nrouters_; }
+
+    void snapSave(SnapWriter &w) const override;
+    void snapLoad(SnapReader &r) override;
     const BitStructLayout &msgType() const { return msg_; }
 
   private:

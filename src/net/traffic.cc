@@ -1,5 +1,7 @@
 #include "traffic.h"
 
+#include "core/snap.h"
+
 namespace cmtl {
 namespace net {
 
@@ -117,6 +119,66 @@ MeshTrafficTop::queuedAtSources() const
     for (const auto &q : srcq_)
         total += q.size();
     return total;
+}
+
+void
+MeshTrafficTop::snapSave(SnapWriter &w) const
+{
+    w.u64(now_);
+    w.u64(inflight_);
+    w.u64(stats_.cycles);
+    w.u64(stats_.generated);
+    w.u64(stats_.injected);
+    w.u64(stats_.received);
+    w.u64(stats_.latency_sum);
+    w.u64(stats_.latency_max);
+    w.u32(static_cast<uint32_t>(gens_.size()));
+    for (const TerminalTrafficGen &gen : gens_)
+        w.u64(gen.state);
+    w.u32(static_cast<uint32_t>(srcq_.size()));
+    for (const auto &queue : srcq_) {
+        w.u32(static_cast<uint32_t>(queue.size()));
+        for (const auto &entry : queue) {
+            w.bits(entry.first);
+            w.u64(entry.second);
+        }
+    }
+}
+
+void
+MeshTrafficTop::snapLoad(SnapReader &r)
+{
+    now_ = r.u64();
+    inflight_ = r.u64();
+    stats_.cycles = r.u64();
+    stats_.generated = r.u64();
+    stats_.injected = r.u64();
+    stats_.received = r.u64();
+    stats_.latency_sum = r.u64();
+    stats_.latency_max = r.u64();
+    uint32_t ngens = r.u32();
+    if (ngens != gens_.size())
+        throw SnapError("MeshTrafficTop: snapshot has " +
+                        std::to_string(ngens) +
+                        " traffic generator(s), model has " +
+                        std::to_string(gens_.size()));
+    for (TerminalTrafficGen &gen : gens_)
+        gen.state = r.u64();
+    uint32_t nqueues = r.u32();
+    if (nqueues != srcq_.size())
+        throw SnapError("MeshTrafficTop: snapshot has " +
+                        std::to_string(nqueues) +
+                        " source queue(s), model has " +
+                        std::to_string(srcq_.size()));
+    for (auto &queue : srcq_) {
+        queue.clear();
+        uint32_t n = r.u32();
+        for (uint32_t i = 0; i < n; ++i) {
+            Bits msg = r.bits();
+            uint64_t born = r.u64();
+            queue.emplace_back(std::move(msg), born);
+        }
+    }
 }
 
 } // namespace net

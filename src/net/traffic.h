@@ -139,6 +139,11 @@ class MeshTrafficTop : public Model
     /** Messages generated but not yet accepted by the network. */
     uint64_t queuedAtSources() const;
 
+    // Harness state lives outside nets (RNGs, source queues,
+    // counters), so checkpoints must carry it explicitly.
+    void snapSave(SnapWriter &w) const override;
+    void snapLoad(SnapReader &r) override;
+
   private:
     BitStructLayout msg_;
     NetLevel level_;

@@ -37,6 +37,21 @@ isLevelToken(const char *arg)
            !std::strcmp(arg, "clspec") || !std::strcmp(arg, "rtl");
 }
 
+/** Parse an unsigned cycle/interval count; exits(2) on garbage. */
+uint64_t
+parseCount(const char *prog, const char *flag, const std::string &text)
+{
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (text.empty() || end == nullptr || *end != '\0') {
+        std::fprintf(stderr, "%s: %s wants a non-negative integer, "
+                             "got '%s'\n",
+                     prog, flag, text.c_str());
+        std::exit(2);
+    }
+    return static_cast<uint64_t>(v);
+}
+
 } // namespace
 
 const char *
@@ -44,7 +59,37 @@ SimOptions::usage()
 {
     return "[--backend=interp|optinterp|bytecode|cpp-block|cpp-design]"
            " [--threads=N] [--profile[=json]] [--level=fl|cl|clspec|rtl]"
-           " [--full]";
+           " [--cycles=N] [--vcd=path] [--checkpoint=path[:N]]"
+           " [--resume=path] [--full] [--help]";
+}
+
+const char *
+SimOptions::helpTable()
+{
+    return
+        "Common options:\n"
+        "  --backend=<name>    execution backend: interp | optinterp |\n"
+        "                      bytecode | cpp-block | cpp-design |\n"
+        "                      interp+bytecode | interp+cpp-block\n"
+        "                      (\"cpp\" is accepted for cpp-block)\n"
+        "  --threads=<n>       host threads; >1 runs the parallel\n"
+        "                      ParSim kernel\n"
+        "  --level=<l>         abstraction level: fl | cl | clspec |\n"
+        "                      rtl (the bare token works too)\n"
+        "  --profile[=json]    attach SimScope; =json emits the\n"
+        "                      machine-readable snapshot on stdout\n"
+        "  --cycles=<n>        simulate n cycles (each binary defines\n"
+        "                      its own default)\n"
+        "  --vcd=<path>        write a VCD waveform dump to <path>\n"
+        "  --checkpoint=<path[:n]>\n"
+        "                      write a checkpoint to <path> every n\n"
+        "                      cycles (default 1000) with atomic\n"
+        "                      rename and keep-last-3 rotation\n"
+        "  --resume=<path>     restore simulator state from a\n"
+        "                      checkpoint file before running\n"
+        "  --full              paper-scale bench parameters (also\n"
+        "                      CMTL_BENCH_FULL=1)\n"
+        "  --help              print this table and exit\n";
 }
 
 SimOptions
@@ -83,6 +128,40 @@ SimOptions::parse(int argc, char **argv)
             opts.level = argv[i];
         } else if (!std::strcmp(argv[i], "--full")) {
             opts.full = true;
+        } else if (optionValue("--cycles", argc, argv, i, value)) {
+            opts.cycles = parseCount(argv[0], "--cycles", value);
+        } else if (optionValue("--vcd", argc, argv, i, value)) {
+            opts.vcd = value;
+        } else if (optionValue("--checkpoint", argc, argv, i, value)) {
+            // path[:every_n_cycles]; the suffix must be all digits so
+            // paths with colons elsewhere still work.
+            opts.checkpoint_path = value;
+            opts.checkpoint_every = 1000;
+            size_t colon = value.rfind(':');
+            if (colon != std::string::npos && colon + 1 < value.size() &&
+                value.find_first_not_of("0123456789", colon + 1) ==
+                    std::string::npos) {
+                opts.checkpoint_path = value.substr(0, colon);
+                opts.checkpoint_every = parseCount(
+                    argv[0], "--checkpoint", value.substr(colon + 1));
+            }
+            if (opts.checkpoint_path.empty()) {
+                std::fprintf(stderr,
+                             "%s: --checkpoint wants a file path\n",
+                             argv[0]);
+                std::exit(2);
+            }
+        } else if (optionValue("--resume", argc, argv, i, value)) {
+            opts.resume = value;
+        } else if (!std::strcmp(argv[i], "--help")) {
+            std::printf("usage: %s [options]\n%s", argv[0],
+                        helpTable());
+            std::exit(0);
+        } else if (!std::strncmp(argv[i], "--", 2)) {
+            std::fprintf(stderr,
+                         "%s: unknown option '%s' (see --help)\n",
+                         argv[0], argv[i]);
+            std::exit(2);
         } else {
             opts.positional.emplace_back(argv[i]);
         }

@@ -16,11 +16,21 @@
  *                     token spelling is accepted too
  *   --full            paper-scale bench parameters (or CMTL_BENCH_FULL=1)
  *
+ * Checkpoint/restore (snap.h) and waveform options ride along:
+ *
+ *   --cycles=<n>      simulate n cycles (binaries define the default)
+ *   --vcd=<path>      write a waveform dump to <path>
+ *   --checkpoint=<path[:n]>  periodic checkpoints into <path> every n
+ *                     cycles (atomic rename + rotation; default 1000)
+ *   --resume=<path>   restore simulator state from a checkpoint
+ *   --help            print the full option table and exit
+ *
  * `--threads N` / `--backend b` (separate argument) spellings are
- * accepted as well. Unrecognized arguments are collected in
- * `positional` for the binary's own use (e.g. a problem size). An
- * unknown backend name prints the expected names and exits(2) —
- * callers never see a throw.
+ * accepted as well. Plain arguments are collected in `positional` for
+ * the binary's own use (e.g. a problem size), but an unknown `--flag`
+ * is an error: silent ignores mask typos like `--thread=4`, so parse()
+ * prints a diagnostic pointing at --help and exits(2) — callers never
+ * see a throw.
  */
 
 #ifndef CMTL_STDLIB_OPTIONS_H
@@ -44,6 +54,11 @@ struct SimOptions
     bool profile_json = false;
     bool full = false;        //!< --full or CMTL_BENCH_FULL=1
     std::string level;        //!< "" when absent
+    uint64_t cycles = 0;      //!< --cycles, 0 when absent
+    std::string vcd;          //!< --vcd path, "" when absent
+    std::string checkpoint_path;    //!< --checkpoint path, "" = off
+    uint64_t checkpoint_every = 0;  //!< cycles between checkpoints
+    std::string resume;             //!< --resume path, "" when absent
     std::vector<std::string> positional;
 
     /** Parse argv (argv[0] is skipped); see the file comment. */
@@ -54,6 +69,9 @@ struct SimOptions
 
     /** One-line usage fragment for the common options. */
     static const char *usage();
+
+    /** The full option table --help prints. */
+    static const char *helpTable();
 };
 
 } // namespace stdlib

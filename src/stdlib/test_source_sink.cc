@@ -1,5 +1,7 @@
 #include "test_source_sink.h"
 
+#include "core/snap.h"
+
 namespace cmtl {
 namespace stdlib {
 
@@ -20,6 +22,20 @@ TestSource::TestSource(Model *parent, const std::string &name, int nbits,
         if (send)
             out.msg.setNext(msgs_[index_]);
     });
+}
+
+void
+TestSource::snapSave(SnapWriter &w) const
+{
+    w.u64(index_);
+    w.u32(static_cast<uint32_t>(wait_));
+}
+
+void
+TestSource::snapLoad(SnapReader &r)
+{
+    index_ = r.u64();
+    wait_ = static_cast<int>(r.u32());
 }
 
 std::string
@@ -55,6 +71,27 @@ TestSink::TestSink(Model *parent, const std::string &name, int nbits,
         bool accept = wait_ == 0;
         in_.rdy.setNext(uint64_t(accept ? 1 : 0));
     });
+}
+
+void
+TestSink::snapSave(SnapWriter &w) const
+{
+    w.u64(index_);
+    w.u32(static_cast<uint32_t>(wait_));
+    w.u32(static_cast<uint32_t>(errors_.size()));
+    for (const std::string &err : errors_)
+        w.str(err);
+}
+
+void
+TestSink::snapLoad(SnapReader &r)
+{
+    index_ = r.u64();
+    wait_ = static_cast<int>(r.u32());
+    errors_.clear();
+    uint32_t nerrors = r.u32();
+    for (uint32_t i = 0; i < nerrors; ++i)
+        errors_.push_back(r.str());
 }
 
 std::string

@@ -38,6 +38,9 @@ class TestSource : public Model
 
     std::string lineTrace() const override;
 
+    void snapSave(SnapWriter &w) const override;
+    void snapLoad(SnapReader &r) override;
+
   private:
     std::vector<Bits> msgs_;
     size_t index_ = 0;
@@ -63,6 +66,9 @@ class TestSink : public Model
     const std::vector<std::string> &errors() const { return errors_; }
 
     std::string lineTrace() const override;
+
+    void snapSave(SnapWriter &w) const override;
+    void snapLoad(SnapReader &r) override;
 
   private:
     std::vector<Bits> expected_;
