@@ -1,15 +1,26 @@
 /**
  * @file
- * Static analysis: lint every case-study design before simulating it.
+ * Static analysis: lint and audit every case-study design before
+ * simulating it.
  *
  * The paper's model/tool split means one elaborated design can feed
  * many tools; this example feeds it to the expanded LintTool, which
- * layers the IR static analyzer (latch inference, read ordering,
- * width/range checks, dead-logic detection, blocking/non-blocking
- * misuse) on top of the structural net checks — bad designs fail at
- * elaboration time, not after a million simulated cycles.
+ * layers the whole-design dataflow clients (dead-logic liveness,
+ * X-propagation) and the IR static analyzer (latch inference, read
+ * ordering, width/range checks, blocking/non-blocking misuse) on top
+ * of the structural net checks — bad designs fail at elaboration time,
+ * not after a million simulated cycles.
  *
- * Usage: lint_design [--errors-only]
+ * Usage: lint_design [--errors-only] [--lint=json] [--audit]
+ *
+ *   --errors-only  suppress warning-level checks, keep hard errors
+ *   --lint=json    machine-readable output: one JSON object per line
+ *                  (check id, severity, hierarchical path, message),
+ *                  nothing else on stdout — pipe into jq or diff
+ *                  against a checked-in baseline in CI
+ *   --audit        additionally run the static ParSim race auditor on
+ *                  every design x threads {2,4}; any violation makes
+ *                  the exit status nonzero
  */
 
 #include <cstdio>
@@ -17,6 +28,8 @@
 #include <string>
 
 #include "core/lint.h"
+#include "core/partition.h"
+#include "core/race_audit.h"
 #include "net/mesh.h"
 #include "tile/tile.h"
 
@@ -26,14 +39,56 @@ namespace {
 
 int total_errors = 0;
 int total_warnings = 0;
+int audit_failures = 0;
+
+struct Mode
+{
+    bool errors_only = false;
+    bool json = false;
+    bool audit = false;
+};
 
 void
-lint(Model &model, const std::string &label, bool errors_only)
+runAudit(const Elaboration &elab, const std::string &label, bool json)
+{
+    for (int threads : {2, 4}) {
+        std::string tag = label + " x" + std::to_string(threads);
+        try {
+            PartitionPlan plan = partitionDesign(elab, threads);
+            RaceAuditReport report = auditPartition(elab, plan);
+            if (!report.ok()) {
+                audit_failures +=
+                    static_cast<int>(report.issues.size());
+                if (json) {
+                    std::fputs(LintTool::formatJson(
+                                   report.toLintIssues())
+                                   .c_str(),
+                               stdout);
+                } else {
+                    std::printf("   %-31s %s", tag.c_str(),
+                                report.format().c_str());
+                }
+            } else if (!json) {
+                std::printf("   %-31s %s\n", tag.c_str(),
+                            report.summary().c_str());
+            }
+        } catch (const std::exception &e) {
+            // Unpartitionable designs (comb cycles) can never run on
+            // ParSim, so there is no schedule to audit.
+            if (!json)
+                std::printf("   %-31s audit skipped: %s\n",
+                            tag.c_str(), e.what());
+        }
+    }
+}
+
+void
+lint(Model &model, const std::string &label, const Mode &mode)
 {
     auto elab = model.elaborate();
 
     LintTool linter;
-    if (errors_only) {
+    if (mode.errors_only) {
         // The per-check suppression API: silence the warning-level
         // checks and keep only hard errors.
         for (const AnalyzeCheck &check : analyzeCheckCatalog()) {
@@ -54,12 +109,19 @@ lint(Model &model, const std::string &label, bool errors_only)
     total_errors += errors;
     total_warnings += warnings;
 
-    std::printf("-- %-34s %3zu models, %4zu nets, %3zu blocks: "
-                "%d error(s), %d warning(s)\n",
-                label.c_str(), elab->models.size(), elab->nets.size(),
-                elab->blocks.size(), errors, warnings);
-    if (!issues.empty())
-        std::fputs(LintTool::format(issues).c_str(), stdout);
+    if (mode.json) {
+        std::fputs(LintTool::formatJson(issues).c_str(), stdout);
+    } else {
+        std::printf("-- %-34s %3zu models, %4zu nets, %3zu blocks: "
+                    "%d error(s), %d warning(s)\n",
+                    label.c_str(), elab->models.size(),
+                    elab->nets.size(), elab->blocks.size(), errors,
+                    warnings);
+        if (!issues.empty())
+            std::fputs(LintTool::format(issues).c_str(), stdout);
+    }
+    if (mode.audit)
+        runAudit(*elab, label, mode.json);
 }
 
 } // namespace
@@ -67,43 +129,67 @@ lint(Model &model, const std::string &label, bool errors_only)
 int
 main(int argc, char **argv)
 {
-    bool errors_only =
-        argc > 1 && std::strcmp(argv[1], "--errors-only") == 0;
-
-    std::printf("CMTL static analysis — check catalog:\n");
-    for (const AnalyzeCheck &check : analyzeCheckCatalog()) {
-        std::printf("  %-24s %-7s %s\n", check.id,
-                    check.severity == LintSeverity::Error ? "error"
-                                                          : "warning",
-                    check.summary);
+    Mode mode;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--errors-only"))
+            mode.errors_only = true;
+        else if (!std::strcmp(argv[i], "--lint=json"))
+            mode.json = true;
+        else if (!std::strcmp(argv[i], "--audit"))
+            mode.audit = true;
+        else {
+            std::fprintf(stderr,
+                         "usage: %s [--errors-only] [--lint=json] "
+                         "[--audit]\n",
+                         argv[0]);
+            return 2;
+        }
     }
-    std::printf("\n");
+
+    if (!mode.json) {
+        std::printf("CMTL static analysis — check catalog:\n");
+        for (const AnalyzeCheck &check : analyzeCheckCatalog()) {
+            std::printf("  %-24s %-7s %s\n", check.id,
+                        check.severity == LintSeverity::Error
+                            ? "error"
+                            : "warning",
+                        check.summary);
+        }
+        std::printf("\n");
+    }
 
     {
         tile::Tile t("tile_fl", tile::Level::FL, tile::Level::FL,
                      tile::Level::FL);
-        lint(t, "tile FL/FL/FL", errors_only);
+        lint(t, "tile FL/FL/FL", mode);
     }
     {
         tile::Tile t("tile_cl", tile::Level::CL, tile::Level::CL,
                      tile::Level::CL);
-        lint(t, "tile CL/CL/CL", errors_only);
+        lint(t, "tile CL/CL/CL", mode);
     }
     {
         tile::Tile t("tile_rtl", tile::Level::RTL, tile::Level::RTL,
                      tile::Level::RTL);
-        lint(t, "tile RTL/RTL/RTL", errors_only);
+        lint(t, "tile RTL/RTL/RTL", mode);
     }
     {
         net::MeshNetworkRTL mesh(nullptr, "mesh2x2", 4, 16, 16, 2);
-        lint(mesh, "mesh 2x2 RTL", errors_only);
+        lint(mesh, "mesh 2x2 RTL", mode);
     }
     {
         net::MeshNetworkRTL mesh(nullptr, "mesh8x8", 64, 64, 32, 2);
-        lint(mesh, "mesh 8x8 RTL", errors_only);
+        lint(mesh, "mesh 8x8 RTL", mode);
     }
 
-    std::printf("\ntotal: %d error(s), %d warning(s)\n", total_errors,
-                total_warnings);
-    return total_errors == 0 ? 0 : 1;
+    if (!mode.json) {
+        std::printf("\ntotal: %d error(s), %d warning(s)\n",
+                    total_errors, total_warnings);
+        if (mode.audit)
+            std::printf("audit: %s\n",
+                        audit_failures == 0
+                            ? "PASS"
+                            : "FAIL — see violations above");
+    }
+    return (total_errors == 0 && audit_failures == 0) ? 0 : 1;
 }

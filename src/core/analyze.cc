@@ -34,8 +34,60 @@ analyzeCheckCatalog()
          "blocking signal assignment in a sequential block"},
         {"awrite-in-comb", LintSeverity::Error,
          "array write in a combinational block"},
+        // Whole-design dataflow clients (dataflow.h).
+        {"dead-net", LintSeverity::Warning,
+         "net is computed but cannot influence any observed sink"},
+        {"dead-block", LintSeverity::Warning,
+         "combinational block writes only dead nets"},
+        {"maybe-uninitialized", LintSeverity::Warning,
+         "net is readable before any driver or reset assigns it"},
+        // Static ParSim race auditor (race_audit.h).
+        {"audit-block-coverage", LintSeverity::Error,
+         "block missing from or duplicated across partition islands"},
+        {"audit-shared-write", LintSeverity::Error,
+         "token statically written from two distinct islands"},
+        {"audit-ownership", LintSeverity::Error,
+         "token owner disagrees with its statically writing island"},
+        {"audit-push-coverage", LintSeverity::Error,
+         "boundary-exchange push set does not exactly cover "
+         "cross-island reads"},
+        {"audit-superstep-order", LintSeverity::Error,
+         "cross-island combinational edge is not barrier-separated"},
+        {"audit-boundary", LintSeverity::Error,
+         "cross-island edge crosses neither a flop nor a "
+         "barrier-separated settle boundary"},
+        {"audit-array-local", LintSeverity::Error,
+         "memory array touched from more than one island"},
     };
     return catalog;
+}
+
+// ----------------------------------------------- shared path formatters
+
+std::string
+lintNetPath(const Net &net)
+{
+    return net.name;
+}
+
+std::string
+lintNetLocation(const Net &net)
+{
+    std::string out = "net '" + net.name + "'";
+    if (net.signals.size() <= 1)
+        return out;
+    out += " (members: ";
+    const size_t show = std::min<size_t>(net.signals.size(), 4);
+    for (size_t i = 0; i < show; ++i) {
+        if (i)
+            out += ", ";
+        out += net.signals[i]->fullName();
+    }
+    if (net.signals.size() > show)
+        out += ", +" + std::to_string(net.signals.size() - show) +
+               " more";
+    out += ")";
+    return out;
 }
 
 // ------------------------------------------------------ AnalyzeOptions
@@ -73,9 +125,18 @@ AnalyzeOptions::emit(std::vector<LintIssue> &issues, LintSeverity fallback,
                      const std::string &check,
                      const std::string &message) const
 {
+    emit(issues, fallback, check, /*path=*/"", message);
+}
+
+void
+AnalyzeOptions::emit(std::vector<LintIssue> &issues, LintSeverity fallback,
+                     const std::string &check, const std::string &path,
+                     const std::string &message) const
+{
     if (isSuppressed(check))
         return;
-    issues.push_back({effectiveSeverity(check, fallback), check, message});
+    issues.push_back(
+        {effectiveSeverity(check, fallback), check, message, path});
 }
 
 // ----------------------------------------------------- constant folder
@@ -394,13 +455,20 @@ class BlockAnalyzer
   private:
     // ----------------------------------------------------- reporting
 
+    /**
+     * @p path is the finding's hierarchical subject (a signal or array
+     * full name); block-local findings (temps, folded conditions) leave
+     * it empty and report the block's hierarchical name instead.
+     */
     void
     emitOnce(LintSeverity fallback, const std::string &check,
-             const std::string &subject, const std::string &message)
+             const std::string &subject, const std::string &message,
+             const std::string &path = "")
     {
         if (!reported_.insert(check + "|" + subject).second)
             return;
         options_.emit(issues_, fallback, check,
+                      path.empty() ? blk_.name : path,
                       "in block '" + blk_.name + "': " + message);
     }
 
@@ -442,7 +510,8 @@ class BlockAnalyzer
                          "signal '" + e->sig->fullName() +
                              "' is read before the block's own "
                              "assignment to it; the read observes the "
-                             "previous settling round");
+                             "previous settling round",
+                         e->sig->fullName());
             }
             break;
           case IrExprNode::Kind::Slice: {
@@ -485,7 +554,8 @@ class BlockAnalyzer
                              array->fullName() + "' (depth " +
                              std::to_string(array->depth()) +
                              ") uses constant index " +
-                             folded->toDecString());
+                             folded->toDecString(),
+                         array->fullName());
             }
             return;
         }
@@ -499,7 +569,8 @@ class BlockAnalyzer
                          ") uses index '" + irExprToString(idx) +
                          "' with static upper bound " +
                          std::to_string(bound) +
-                         "; out-of-range indexes wrap");
+                         "; out-of-range indexes wrap",
+                     array->fullName());
         }
     }
 
@@ -569,7 +640,8 @@ class BlockAnalyzer
                  target + "|" + std::to_string((*wide)->nbits),
                  "assignment to " + target + " truncates a " +
                      std::to_string((*wide)->nbits) + "-bit value to " +
-                     std::to_string(target_width) + " bits");
+                     std::to_string(target_width) + " bits",
+                 s.sig ? s.sig->fullName() : std::string());
     }
 
     void
@@ -587,14 +659,16 @@ class BlockAnalyzer
                                  s.sig->fullName(),
                                  "non-blocking assignment to '" +
                                      s.sig->fullName() +
-                                     "' in a combinational block");
+                                     "' in a combinational block",
+                                 s.sig->fullName());
                     }
                     if (ir_.sequential && !s.nonblocking) {
                         emitOnce(LintSeverity::Error, "blocking-in-seq",
                                  s.sig->fullName(),
                                  "blocking assignment to sequential "
                                  "state '" +
-                                     s.sig->fullName() + "'");
+                                     s.sig->fullName() + "'",
+                                 s.sig->fullName());
                     }
                     auto [it, inserted] =
                         st.sigs.try_emplace(s.sig, Cover(s.sig->nbits()));
@@ -633,7 +707,8 @@ class BlockAnalyzer
                              s.array->fullName(),
                              "write to array '" + s.array->fullName() +
                                  "' in a combinational block; array "
-                                 "writes are clock-edge effects");
+                                 "writes are clock-edge effects",
+                             s.array->fullName());
                 }
                 checkExpr(s.cond, st);
                 checkExpr(s.rhs, st);
@@ -688,7 +763,7 @@ class BlockAnalyzer
             if (note != latch_notes_.end())
                 msg += "; offending path: " + note->second;
             emitOnce(LintSeverity::Error, "latch-inferred",
-                     sig->fullName(), msg);
+                     sig->fullName(), msg, sig->fullName());
         }
     }
 

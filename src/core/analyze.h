@@ -56,7 +56,26 @@ struct LintIssue
     LintSeverity severity;
     std::string check; //!< short check id, e.g. "latch-inferred"
     std::string message;
+    /**
+     * Hierarchical path of the finding's subject — a net's canonical
+     * name, a block's hierarchical name, an array's full name. Every
+     * producer (structural linter, IR analyzer, dataflow clients, race
+     * auditor) fills it through the shared formatters below, so tools
+     * that key findings by location (JSON diffing, suppression files)
+     * see one consistent spelling.
+     */
+    std::string path;
 };
+
+/**
+ * Shared hierarchical path formatters. The canonical path of a net is
+ * its shallowest member signal's full name (Net::name); the location
+ * string additionally lists the other member signals so a finding deep
+ * inside a large design names the exact instances involved. Every
+ * finding producer must use these — no per-tool reimplementations.
+ */
+std::string lintNetPath(const Net &net);
+std::string lintNetLocation(const Net &net);
 
 /** One entry of the static check catalog. */
 struct AnalyzeCheck
@@ -93,6 +112,11 @@ class AnalyzeOptions
      */
     void emit(std::vector<LintIssue> &issues, LintSeverity fallback,
               const std::string &check, const std::string &message) const;
+
+    /** As above, with the finding's hierarchical subject path. */
+    void emit(std::vector<LintIssue> &issues, LintSeverity fallback,
+              const std::string &check, const std::string &path,
+              const std::string &message) const;
 
   private:
     std::set<std::string> suppressed_;

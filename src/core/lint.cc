@@ -1,34 +1,45 @@
 #include "lint.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <sstream>
+
+#include "dataflow.h"
 
 namespace cmtl {
 
 namespace {
 
-/**
- * Hierarchical location of a net: its canonical (shallowest) name
- * plus the other member signals, so a finding deep inside a large
- * design (e.g. an 8x8 mesh) names the exact instances involved.
- */
+/** Minimal JSON string escaping for the one-finding-per-line format. */
 std::string
-netLocation(const Net &net)
+jsonEscape(const std::string &s)
 {
-    std::string out = "net '" + net.name + "'";
-    if (net.signals.size() <= 1)
-        return out;
-    out += " (members: ";
-    const size_t show = std::min<size_t>(net.signals.size(), 4);
-    for (size_t i = 0; i < show; ++i) {
-        if (i)
-            out += ", ";
-        out += net.signals[i]->fullName();
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
     }
-    if (net.signals.size() > show)
-        out += ", +" + std::to_string(net.signals.size() - show) +
-               " more";
-    out += ")";
     return out;
 }
 
@@ -79,6 +90,7 @@ LintTool::run(const Elaboration &elab)
         if (array_writers[i] > 1) {
             options_.emit(
                 issues, LintSeverity::Error, "multiple-array-writers",
+                elab.arrays[i]->fullName(),
                 "array '" + elab.arrays[i]->fullName() +
                     "' is written by " +
                     std::to_string(array_writers[i]) +
@@ -92,7 +104,8 @@ LintTool::run(const Elaboration &elab)
         if (cw + sw > 1) {
             options_.emit(
                 issues, LintSeverity::Error, "multiple-drivers",
-                netLocation(net) + " is written by " +
+                lintNetPath(net),
+                lintNetLocation(net) + " is written by " +
                     std::to_string(cw) + " combinational and " +
                     std::to_string(sw) + " sequential block(s)");
         }
@@ -109,19 +122,22 @@ LintTool::run(const Elaboration &elab)
         }
         if (readers[net.id] > 0 && cw + sw == 0 && !has_top_input) {
             options_.emit(issues, LintSeverity::Warning, "undriven-net",
-                          netLocation(net) +
+                          lintNetPath(net),
+                          lintNetLocation(net) +
                               " is read but never written and has no "
                               "top-level input");
         }
         if (readers[net.id] == 0 && cw + sw > 0 && !has_top_output) {
             options_.emit(issues, LintSeverity::Warning, "unread-net",
-                          netLocation(net) +
+                          lintNetPath(net),
+                          lintNetLocation(net) +
                               " is written but never read");
         }
     }
 
     if (elab.hasCombCycle) {
         options_.emit(issues, LintSeverity::Error, "comb-cycle",
+                      elab.top ? elab.top->fullName() : "",
                       "combinational blocks form a dependency cycle; "
                       "only event-driven simulation is possible");
     }
@@ -132,6 +148,14 @@ LintTool::run(const Elaboration &elab)
     issues.insert(issues.end(),
                   std::make_move_iterator(ir_issues.begin()),
                   std::make_move_iterator(ir_issues.end()));
+
+    // Whole-design dataflow clients: dead-logic liveness and
+    // X-propagation (dataflow.h) run over the cross-block net graph.
+    DataflowResult flow = dataflowAnalyze(elab);
+    std::vector<LintIssue> flow_issues = dataflowLint(elab, flow, options_);
+    issues.insert(issues.end(),
+                  std::make_move_iterator(flow_issues.begin()),
+                  std::make_move_iterator(flow_issues.end()));
     return issues;
 }
 
@@ -142,6 +166,20 @@ LintTool::format(const std::vector<LintIssue> &issues)
     for (const LintIssue &issue : issues) {
         os << (issue.severity == LintSeverity::Error ? "error" : "warning")
            << " [" << issue.check << "] " << issue.message << "\n";
+    }
+    return os.str();
+}
+
+std::string
+LintTool::formatJson(const std::vector<LintIssue> &issues)
+{
+    std::ostringstream os;
+    for (const LintIssue &issue : issues) {
+        os << "{\"check\":\"" << jsonEscape(issue.check)
+           << "\",\"severity\":\""
+           << (issue.severity == LintSeverity::Error ? "error" : "warning")
+           << "\",\"path\":\"" << jsonEscape(issue.path)
+           << "\",\"message\":\"" << jsonEscape(issue.message) << "\"}\n";
     }
     return os.str();
 }

@@ -42,8 +42,12 @@ class LintTool
      *
      * The IR checks of analyzeIr() (latch inference, read ordering,
      * width/range, dead logic, blocking/non-blocking misuse — see
-     * analyze.h for the catalog) run on every IR block afterwards.
-     * Both layers honour the suppression/severity configuration.
+     * analyze.h for the catalog) run on every IR block afterwards,
+     * followed by the whole-design dataflow clients of dataflow.h
+     * (dead-net/dead-block liveness and maybe-uninitialized
+     * X-propagation). All layers honour the suppression/severity
+     * configuration, and every finding carries the hierarchical path
+     * of its subject (LintIssue::path).
      */
     std::vector<LintIssue> run(const Elaboration &elab);
 
@@ -57,6 +61,14 @@ class LintTool
 
     /** Render issues in a compact single-line-per-issue format. */
     static std::string format(const std::vector<LintIssue> &issues);
+
+    /**
+     * Machine-readable rendering: one JSON object per line with keys
+     * "check", "severity" ("error"/"warning"), "path" (hierarchical
+     * subject path), and "message" — stable for CI diffing against a
+     * checked-in baseline.
+     */
+    static std::string formatJson(const std::vector<LintIssue> &issues);
 
   private:
     AnalyzeOptions options_;

@@ -5,6 +5,7 @@
 #include <set>
 #include <stdexcept>
 
+#include "dataflow.h"
 #include "ir_cpp.h"
 #include "timing.h"
 
@@ -94,6 +95,21 @@ ParSimulationTool::buildIslandSchedules()
     const auto &blocks = elab_->blocks;
     spec_stats_.numBlocks = static_cast<int>(blocks.size());
 
+    // Dead-logic elimination: a comb block whose writes never reach an
+    // observed sink can be dropped from the island schedules. Pushes
+    // derive from the *scheduled* steps below, so a dead block's writes
+    // are never exchanged either — sound, because no live block reads
+    // them. The dead set is a pure function of the Elaboration, so the
+    // sequential and parallel kernels elide the same blocks.
+    dead_block_.assign(blocks.size(), 0);
+    if (cfg_.dead_elim) {
+        DataflowResult flow = dataflowAnalyze(*elab_);
+        for (int b : flow.deadCombBlocks())
+            dead_block_[b] = 1;
+        spec_stats_.deadBlocksElided = flow.deadBlocks;
+        spec_stats_.deadNetsElided = flow.deadNets;
+    }
+
     const int n = plan_.nislands;
     comb_steps_.resize(n);
     tick_steps_.resize(n);
@@ -118,6 +134,8 @@ ParSimulationTool::buildIslandSchedules()
     for (int i = 0; i < n; ++i) {
         const PartitionIsland &isl = plan_.islands[i];
         for (size_t k = 0; k < isl.combBlocks.size(); ++k) {
+            if (dead_block_[isl.combBlocks[k]])
+                continue;
             PStep step;
             step.block = isl.combBlocks[k];
             step.level = isl.combLevels[k];
@@ -248,6 +266,7 @@ ParSimulationTool::specialize()
     spec_stats_.numGroups = static_cast<int>(groups.size());
 
     std::string source = cppEmitProgram(*elab_, *replicas_[0], groups);
+    spec_stats_.emittedTuBytes = source.size();
     spec_stats_.codegenSeconds = sw.elapsed();
 
     CppJit jit(cfg_.jit_cache_dir.empty() ? CppJit::defaultCacheDir()
@@ -314,6 +333,7 @@ ParSimulationTool::specializeDesign()
     }
 
     design_source_ = cppEmitProgram(*elab_, *replicas_[0], units);
+    spec_stats_.emittedTuBytes = design_source_.size();
     design_nunits_ = static_cast<int>(units.size());
     spec_stats_.codegenSeconds += sw.elapsed();
     spec_stats_.tiered = cfg_.jit_tiered;

@@ -197,6 +197,7 @@ class ParSimulationTool : public Simulator
     std::vector<std::vector<uint64_t>> bc_scratch_; //!< per island
     CppJitLibrary cpp_lib_;
     std::vector<char> specialized_;
+    std::vector<char> dead_block_; //!< comb blocks elided by dead_elim
 
     // --- cpp-design tiering ----------------------------------------
     // Tier 0 runs the per-island bytecode schedules; the fused native

@@ -1,0 +1,385 @@
+#include "race_audit.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace cmtl {
+
+namespace {
+
+std::string
+islandName(int island)
+{
+    return island == kExternalIsland ? std::string("external")
+                                     : "island " + std::to_string(island);
+}
+
+std::string
+tokenName(const Elaboration &elab, int token)
+{
+    const int nnets = static_cast<int>(elab.nets.size());
+    if (token >= 0 && token < nnets)
+        return "net '" + elab.nets[static_cast<size_t>(token)].name + "'";
+    int a = token - nnets;
+    if (a >= 0 && a < static_cast<int>(elab.arrays.size()))
+        return "array '" +
+               elab.arrays[static_cast<size_t>(a)]->fullName() + "'";
+    return "token " + std::to_string(token);
+}
+
+std::string
+tokenPath(const Elaboration &elab, int token)
+{
+    const int nnets = static_cast<int>(elab.nets.size());
+    if (token >= 0 && token < nnets)
+        return lintNetPath(elab.nets[static_cast<size_t>(token)]);
+    int a = token - nnets;
+    if (a >= 0 && a < static_cast<int>(elab.arrays.size()))
+        return elab.arrays[static_cast<size_t>(a)]->fullName();
+    return "token:" + std::to_string(token);
+}
+
+} // namespace
+
+RaceAuditReport
+auditPartition(const Elaboration &elab, const PartitionPlan &plan)
+{
+    RaceAuditReport rep;
+    rep.nislands = plan.nislands;
+    const int nnets = static_cast<int>(elab.nets.size());
+    const int ntokens = nnets + static_cast<int>(elab.arrays.size());
+    const int nblocks = static_cast<int>(elab.blocks.size());
+
+    auto fail = [&](const char *invariant, const std::string &path,
+                    const std::string &message, int token = -1,
+                    int a = kExternalIsland, int b = kExternalIsland) {
+        rep.issues.push_back({invariant, path, message, token, a, b});
+    };
+
+    // ------------------------------------------------- block coverage
+    //
+    // Placement of every block, and the schedule position/level maps
+    // the edge checks below need. blockIsland stays kExternalIsland-2
+    // (= unplaced) on coverage violations so later checks skip them.
+    constexpr int kUnplaced = kExternalIsland - 1;
+    std::vector<int> count(static_cast<size_t>(nblocks), 0);
+    std::vector<int> blockIsland(static_cast<size_t>(nblocks), kUnplaced);
+    std::vector<int> combLevel(static_cast<size_t>(nblocks), -1);
+    std::vector<int> combPos(static_cast<size_t>(nblocks), -1);
+    std::vector<char> isTickSlot(static_cast<size_t>(nblocks), 0);
+
+    for (size_t i = 0; i < plan.islands.size(); ++i) {
+        const PartitionIsland &isl = plan.islands[i];
+        for (size_t k = 0; k < isl.combBlocks.size(); ++k) {
+            int b = isl.combBlocks[k];
+            if (b < 0 || b >= nblocks)
+                continue;
+            ++count[static_cast<size_t>(b)];
+            blockIsland[static_cast<size_t>(b)] = static_cast<int>(i);
+            combLevel[static_cast<size_t>(b)] =
+                k < isl.combLevels.size() ? isl.combLevels[k] : 0;
+            combPos[static_cast<size_t>(b)] = static_cast<int>(k);
+        }
+        for (int b : isl.tickBlocks) {
+            if (b < 0 || b >= nblocks)
+                continue;
+            ++count[static_cast<size_t>(b)];
+            blockIsland[static_cast<size_t>(b)] = static_cast<int>(i);
+            isTickSlot[static_cast<size_t>(b)] = 1;
+        }
+    }
+    for (int b : plan.lambdaTicks) {
+        if (b < 0 || b >= nblocks)
+            continue;
+        ++count[static_cast<size_t>(b)];
+        blockIsland[static_cast<size_t>(b)] = kExternalIsland;
+        isTickSlot[static_cast<size_t>(b)] = 1;
+    }
+
+    for (int b = 0; b < nblocks; ++b) {
+        const ElabBlock &blk = elab.blocks[static_cast<size_t>(b)];
+        ++rep.blocksChecked;
+        const bool wants_external =
+            blk.kind == BlockKind::TickFl || blk.kind == BlockKind::TickCl;
+        const bool wants_tick_slot = isTick(blk.kind);
+        int c = count[static_cast<size_t>(b)];
+        if (c != 1) {
+            fail("audit-block-coverage", blk.name,
+                 "block '" + blk.name + "' appears " + std::to_string(c) +
+                     " times across the partition (must be exactly "
+                     "once)");
+            blockIsland[static_cast<size_t>(b)] = kUnplaced;
+            continue;
+        }
+        int isl = blockIsland[static_cast<size_t>(b)];
+        if (wants_external && isl != kExternalIsland) {
+            fail("audit-block-coverage", blk.name,
+                 "host lambda block '" + blk.name +
+                     "' (undeclared effects) is scheduled on " +
+                     islandName(isl) +
+                     " instead of the external participant",
+                 -1, isl);
+        } else if (!wants_external && isl == kExternalIsland) {
+            fail("audit-block-coverage", blk.name,
+                 "statically analyzable block '" + blk.name +
+                     "' is scheduled on the external participant");
+        }
+        if (wants_tick_slot != static_cast<bool>(
+                                   isTickSlot[static_cast<size_t>(b)]) &&
+            isl != kExternalIsland && isl != kUnplaced) {
+            fail("audit-block-coverage", blk.name,
+                 "block '" + blk.name + "' is scheduled in the " +
+                     (wants_tick_slot ? "comb" : "tick") +
+                     " phase of " + islandName(isl),
+                 -1, isl);
+        }
+    }
+
+    // --------------------- write disjointness / ownership per token
+    std::vector<std::vector<int>> writerIslands(
+        static_cast<size_t>(ntokens));
+    std::vector<std::vector<int>> readerIslandsTrue(
+        static_cast<size_t>(ntokens));
+    for (int b = 0; b < nblocks; ++b) {
+        int isl = blockIsland[static_cast<size_t>(b)];
+        if (isl == kUnplaced || isl == kExternalIsland)
+            continue; // external effects are undeclared; serial anyway
+        const ElabBlock &blk = elab.blocks[static_cast<size_t>(b)];
+        for (int t : blk.writes) {
+            if (t < 0 || t >= ntokens)
+                continue;
+            auto &w = writerIslands[static_cast<size_t>(t)];
+            if (std::find(w.begin(), w.end(), isl) == w.end())
+                w.push_back(isl);
+        }
+        for (int t : blk.reads) {
+            if (t < 0 || t >= ntokens)
+                continue;
+            auto &r = readerIslandsTrue[static_cast<size_t>(t)];
+            if (std::find(r.begin(), r.end(), isl) == r.end())
+                r.push_back(isl);
+        }
+    }
+
+    for (int t = 0; t < ntokens; ++t) {
+        ++rep.tokensChecked;
+        auto &w = writerIslands[static_cast<size_t>(t)];
+        std::sort(w.begin(), w.end());
+        if (w.size() > 1) {
+            fail("audit-shared-write", tokenPath(elab, t),
+                 tokenName(elab, t) +
+                     " is statically written from both " +
+                     islandName(w[0]) + " and " + islandName(w[1]) +
+                     "; per-phase write sets must be disjoint",
+                 t, w[0], w[1]);
+        }
+        int true_owner = w.size() == 1 ? w[0] : kExternalIsland;
+        int claimed = t < static_cast<int>(plan.ownerOf.size())
+                          ? plan.ownerOf[static_cast<size_t>(t)]
+                          : kExternalIsland;
+        if (w.size() <= 1 && claimed != true_owner) {
+            fail("audit-ownership", tokenPath(elab, t),
+                 tokenName(elab, t) + " is owned by " +
+                     islandName(claimed) +
+                     " but its statically writing island is " +
+                     islandName(true_owner),
+                 t, claimed, true_owner);
+        }
+    }
+
+    // ----------------------------------------------- push coverage
+    //
+    // readerIslands must *exactly* equal the recomputed set of islands
+    // with a static reader, minus the owner (which reads its own
+    // replica directly).
+    for (int t = 0; t < ntokens; ++t) {
+        int owner = t < static_cast<int>(plan.ownerOf.size())
+                        ? plan.ownerOf[static_cast<size_t>(t)]
+                        : kExternalIsland;
+        std::vector<int> expect;
+        for (int isl : readerIslandsTrue[static_cast<size_t>(t)])
+            if (isl != owner)
+                expect.push_back(isl);
+        std::sort(expect.begin(), expect.end());
+        std::vector<int> got =
+            t < static_cast<int>(plan.readerIslands.size())
+                ? plan.readerIslands[static_cast<size_t>(t)]
+                : std::vector<int>{};
+        std::sort(got.begin(), got.end());
+        got.erase(std::remove(got.begin(), got.end(), owner), got.end());
+        rep.pushesChecked += static_cast<int>(got.size());
+        for (int isl : expect) {
+            if (!std::binary_search(got.begin(), got.end(), isl)) {
+                fail("audit-push-coverage", tokenPath(elab, t),
+                     tokenName(elab, t) + " is read by " +
+                         islandName(isl) +
+                         " but the boundary exchange never pushes it "
+                         "there (owner " +
+                         islandName(owner) + ")",
+                     t, owner, isl);
+            }
+        }
+        for (int isl : got) {
+            if (!std::binary_search(expect.begin(), expect.end(), isl)) {
+                fail("audit-push-coverage", tokenPath(elab, t),
+                     tokenName(elab, t) + " is pushed to " +
+                         islandName(isl) +
+                         " which has no static reader for it",
+                     t, owner, isl);
+            }
+        }
+    }
+
+    // ------------------- superstep order and flop-boundary crossing
+    std::vector<std::vector<int>> readerBlocks(
+        static_cast<size_t>(nnets));
+    for (int b = 0; b < nblocks; ++b)
+        for (int t : elab.blocks[static_cast<size_t>(b)].reads)
+            if (t >= 0 && t < nnets)
+                readerBlocks[static_cast<size_t>(t)].push_back(b);
+
+    for (int wb = 0; wb < nblocks; ++wb) {
+        const ElabBlock &wblk = elab.blocks[static_cast<size_t>(wb)];
+        int wisl = blockIsland[static_cast<size_t>(wb)];
+        if (wisl == kUnplaced || wisl == kExternalIsland)
+            continue;
+        const bool wtick = isTick(wblk.kind);
+        for (int t : wblk.writes) {
+            if (t < 0 || t >= nnets)
+                continue; // array crossings: audit-array-local below
+            const Net &net = elab.nets[static_cast<size_t>(t)];
+            for (int rb : readerBlocks[static_cast<size_t>(t)]) {
+                if (rb == wb)
+                    continue;
+                const ElabBlock &rblk =
+                    elab.blocks[static_cast<size_t>(rb)];
+                int risl = blockIsland[static_cast<size_t>(rb)];
+                if (risl == kUnplaced)
+                    continue;
+                ++rep.edgesChecked;
+                if (risl == kExternalIsland)
+                    continue; // external reads at serial barriers
+                if (risl == wisl) {
+                    // Same island: a comb reader must be scheduled
+                    // after its comb writer.
+                    if (!wtick && !isTick(rblk.kind) &&
+                        combPos[static_cast<size_t>(rb)] <
+                            combPos[static_cast<size_t>(wb)]) {
+                        fail("audit-superstep-order", lintNetPath(net),
+                             "within " + islandName(wisl) +
+                                 ", comb reader '" + rblk.name +
+                                 "' of net '" + net.name +
+                                 "' is scheduled before its writer '" +
+                                 wblk.name + "'",
+                             t, wisl, wisl);
+                    }
+                    continue;
+                }
+                if (wtick) {
+                    // Sequential writer, cross-island reader: legal
+                    // only across the flop barrier, i.e. the net must
+                    // be statically flopped.
+                    if (!net.floppedStatic) {
+                        fail("audit-boundary", lintNetPath(net),
+                             "net '" + net.name +
+                                 "' is written sequentially by '" +
+                                 wblk.name + "' (" + islandName(wisl) +
+                                 ") and read by '" + rblk.name +
+                                 "' (" + islandName(risl) +
+                                 ") without a flop boundary",
+                             t, wisl, risl);
+                    }
+                    continue;
+                }
+                if (isTick(rblk.kind))
+                    continue; // ticks run after the final settle
+                // Comb->comb across islands: a settle barrier must
+                // separate the writer's level from the reader's.
+                int lw = combLevel[static_cast<size_t>(wb)];
+                int lr = combLevel[static_cast<size_t>(rb)];
+                if (lr < lw + 1) {
+                    fail("audit-superstep-order", lintNetPath(net),
+                         "comb edge on net '" + net.name + "' from '" +
+                             wblk.name + "' (" + islandName(wisl) +
+                             ", level " + std::to_string(lw) +
+                             ") to '" + rblk.name + "' (" +
+                             islandName(risl) + ", level " +
+                             std::to_string(lr) +
+                             ") is not barrier-separated",
+                         t, wisl, risl);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------ array locality
+    for (size_t a = 0; a < elab.arrays.size(); ++a) {
+        int t = elab.arrayToken(static_cast<int>(a));
+        std::set<int> touchers;
+        for (int isl : writerIslands[static_cast<size_t>(t)])
+            touchers.insert(isl);
+        for (int isl : readerIslandsTrue[static_cast<size_t>(t)])
+            touchers.insert(isl);
+        if (touchers.size() > 1) {
+            auto it = touchers.begin();
+            int ia = *it++;
+            int ib = *it;
+            fail("audit-array-local", elab.arrays[a]->fullName(),
+                 "array '" + elab.arrays[a]->fullName() +
+                     "' is touched by both " + islandName(ia) +
+                     " and " + islandName(ib) +
+                     "; arrays are never boundary-exchanged",
+                 t, ia, ib);
+        }
+    }
+
+    return rep;
+}
+
+std::string
+RaceAuditReport::summary() const
+{
+    std::ostringstream os;
+    if (ok()) {
+        os << "race audit: PASS (" << nislands << " islands, "
+           << blocksChecked << " blocks, " << tokensChecked
+           << " tokens, " << edgesChecked << " cross-block edges, "
+           << pushesChecked << " pushes checked)";
+    } else {
+        os << "race audit: FAIL: " << issues.size() << " violation"
+           << (issues.size() == 1 ? "" : "s") << " across " << nislands
+           << " islands";
+    }
+    return os.str();
+}
+
+std::string
+RaceAuditReport::format() const
+{
+    std::ostringstream os;
+    os << summary() << "\n";
+    for (const RaceAuditIssue &issue : issues) {
+        os << "  [" << issue.invariant << "] " << issue.message;
+        if (issue.island_a != kExternalIsland ||
+            issue.island_b != kExternalIsland) {
+            os << " (islands " << issue.island_a << "/"
+               << issue.island_b << ")";
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+std::vector<LintIssue>
+RaceAuditReport::toLintIssues(const AnalyzeOptions &options) const
+{
+    std::vector<LintIssue> out;
+    for (const RaceAuditIssue &issue : issues)
+        options.emit(out, LintSeverity::Error, issue.invariant,
+                     issue.path, issue.message);
+    return out;
+}
+
+} // namespace cmtl

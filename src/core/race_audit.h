@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Static ParSim race auditor.
+ *
+ * ParSim's bit-identical claim rests on invariants the partitioner is
+ * supposed to establish (partition.h) and the BSP kernel to rely on
+ * (psim.h). This auditor *proves* them on any PartitionPlan by
+ * independent recomputation from the elaborated design — a
+ * machine-checked certificate rather than a test-suite hope, in the
+ * spirit of Manticore's statically-proven parallelization. Checked
+ * invariants:
+ *
+ *  - **block coverage**: every statically scheduled block (CombIr,
+ *    TickIr, CombLambda) is assigned to exactly one island, and every
+ *    host tick lambda (TickFl/TickCl, undeclared effects) to the
+ *    external participant;
+ *  - **write disjointness / ownership**: no token (net, MemArray, or
+ *    tick state) is statically written from two distinct islands, and
+ *    each token's owner is exactly its writing island (external when
+ *    none);
+ *  - **superstep order**: a combinational edge crossing islands is
+ *    separated by a settle barrier (reader level >= writer level + 1);
+ *    within an island the writer precedes the reader in schedule
+ *    order;
+ *  - **push coverage**: the boundary-exchange push set (readerIslands)
+ *    *exactly* covers the islands with a static reader — no
+ *    cross-island read without a push, no push without a reader;
+ *  - **flop boundary**: a sequentially written net read from another
+ *    island is statically flopped (exchanged at the flop barrier);
+ *    anything else crossing islands must be a barrier-separated
+ *    combinational edge;
+ *  - **array locality**: a MemArray is touched (read or written) by at
+ *    most one island — arrays are never boundary-exchanged.
+ *
+ * A violation pinpoints the offending net/array and island pair.
+ * Reports surface through simulatorReport (stats.h), the `--audit`
+ * flag of stdlib::SimOptions, and as `audit-*` error findings via
+ * toLintIssues() — the CI gate runs the auditor over the whole corpus
+ * at threads {2,4}.
+ */
+
+#ifndef CMTL_CORE_RACE_AUDIT_H
+#define CMTL_CORE_RACE_AUDIT_H
+
+#include <string>
+#include <vector>
+
+#include "analyze.h"
+#include "model.h"
+#include "partition.h"
+
+namespace cmtl {
+
+/** One proven invariant violation. */
+struct RaceAuditIssue
+{
+    std::string invariant; //!< check id, e.g. "audit-shared-write"
+    std::string path;      //!< hierarchical subject (net/array/block)
+    std::string message;   //!< full description with island pair
+    int token = -1;        //!< offending token, -1 when block-level
+    int island_a = kExternalIsland;
+    int island_b = kExternalIsland;
+};
+
+/** Outcome of auditPartition(): pass/fail plus coverage counters. */
+struct RaceAuditReport
+{
+    std::vector<RaceAuditIssue> issues;
+    int nislands = 0;
+    int blocksChecked = 0;
+    int tokensChecked = 0;
+    int edgesChecked = 0;  //!< cross-block writer->reader pairs
+    int pushesChecked = 0; //!< readerIslands entries validated
+
+    bool ok() const { return issues.empty(); }
+
+    /** One line: "race audit: PASS (...)" / "FAIL: N violations". */
+    std::string summary() const;
+
+    /** Multi-line report: summary plus one line per violation. */
+    std::string format() const;
+
+    /** Render violations as `audit-*` lint findings (errors). */
+    std::vector<LintIssue>
+    toLintIssues(const AnalyzeOptions &options = {}) const;
+};
+
+/**
+ * Prove the partitioner invariants of @p plan against @p elab. The
+ * audit is pure recomputation — it never trusts the plan's derived
+ * fields (ownerOf, readerIslands, levels) without re-deriving the
+ * ground truth from the block access sets.
+ */
+RaceAuditReport auditPartition(const Elaboration &elab,
+                               const PartitionPlan &plan);
+
+} // namespace cmtl
+
+#endif // CMTL_CORE_RACE_AUDIT_H

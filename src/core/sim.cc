@@ -3,6 +3,7 @@
 #include <queue>
 #include <stdexcept>
 
+#include "dataflow.h"
 #include "ir_cpp.h"
 #include "timing.h"
 
@@ -191,6 +192,15 @@ SimulationTool::SimulationTool(std::shared_ptr<Elaboration> elab,
         }
     }
 
+    dead_block_.assign(elab_->blocks.size(), 0);
+    if (cfg_.dead_elim) {
+        DataflowResult flow = dataflowAnalyze(*elab_);
+        for (int b : flow.deadCombBlocks())
+            dead_block_[b] = 1;
+        spec_stats_.deadBlocksElided = flow.deadBlocks;
+        spec_stats_.deadNetsElided = flow.deadNets;
+    }
+
     buildSchedule();
     double create_before_spec = sw.elapsed();
     if (cfg_.spec != SpecMode::None)
@@ -262,6 +272,11 @@ SimulationTool::buildSchedule()
         }
     }
     for (int idx : comb_order) {
+        // Dead-logic elimination: proven-dead comb blocks never enter
+        // the schedule (their step index stays -1, which the
+        // event-driven enqueue path already skips).
+        if (dead_block_[idx])
+            continue;
         comb_step_of_block_[idx] = static_cast<int>(comb_steps_.size());
         comb_steps_.push_back(makeStep(idx));
     }
@@ -434,6 +449,7 @@ SimulationTool::specialize()
 
     std::string source = cppEmitProgram(*elab_, *arena_, groups);
     spec_stats_.codegenSeconds = sw.elapsed();
+    spec_stats_.emittedTuBytes = source.size();
 
     CppJit jit(cfg_.jit_cache_dir.empty() ? CppJit::defaultCacheDir()
                                           : cfg_.jit_cache_dir,
@@ -456,7 +472,14 @@ SimulationTool::designCombOrder(const std::vector<char> &can) const
     // compiled unit. Multiple writers of one token keep their relative
     // order from the baseline schedule via writer->writer chain edges.
     const auto &blocks = elab_->blocks;
-    const std::vector<int> &base = elab_->combOrder;
+    // Dead blocks never reach the schedule; a live block never reads a
+    // dead block's output (that read would make the writer live), so
+    // dropping them here leaves a closed dependency graph.
+    std::vector<int> base;
+    base.reserve(elab_->combOrder.size());
+    for (int b : elab_->combOrder)
+        if (!dead_block_[b])
+            base.push_back(b);
     std::vector<int> pos(blocks.size(), -1);
     for (size_t i = 0; i < base.size(); ++i)
         pos[base[i]] = static_cast<int>(i);
@@ -597,6 +620,7 @@ SimulationTool::specializeDesign(const std::vector<char> &can)
 
     design_source_ = cppEmitProgram(*elab_, *arena_, units);
     design_nunits_ = static_cast<int>(units.size());
+    spec_stats_.emittedTuBytes = design_source_.size();
     spec_stats_.codegenSeconds += sw.elapsed();
     spec_stats_.tiered = cfg_.jit_tiered;
 

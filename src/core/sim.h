@@ -131,6 +131,15 @@ struct SimConfig
      * (false = block in the constructor until the module is built).
      */
     bool jit_tiered = true;
+    /**
+     * Skip combinational IR blocks the whole-design dataflow analysis
+     * (dataflow.h) proves dead — outside every observed sink's cone of
+     * influence. Equivalent for every observed value; nets written
+     * only by skipped blocks retain their initial value, so designs
+     * with dead logic show different *dead* net values (and VCD bytes)
+     * than an unoptimized run. Off by default.
+     */
+    bool dead_elim = false;
 
     /**
      * Normalize the config in place: derive backend from exec/spec
@@ -226,6 +235,13 @@ struct SpecStats
      *  (0 = before the first cycle, -1 = still on the warm-up tier). */
     int64_t tierSwapCycle = -1;
     bool tiered = false; //!< cpp-design with background compilation
+    // --- dead-logic elimination (SimConfig::dead_elim) -------------
+    int deadBlocksElided = 0;  //!< comb blocks skipped by the schedule
+    int deadNetsElided = 0;    //!< driven+read nets proven dead
+    /** Bytes of the emitted C++ translation unit (cpp-block fused
+     *  groups or the cpp-design whole-design unit); 0 for
+     *  interpreter/bytecode backends. */
+    size_t emittedTuBytes = 0;
 };
 
 /**
@@ -449,6 +465,9 @@ class SimulationTool : public Simulator
     std::vector<std::vector<const BcProgram *>> group_bc_;
     std::vector<std::vector<int>> group_reads_;
     std::vector<std::vector<int>> group_writes_;
+
+    /** Comb blocks elided by dead-logic elimination (dead_elim). */
+    std::vector<char> dead_block_;
 
     std::vector<int> flopped_nets_;
     std::vector<char> is_flopped_;

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "psim.h"
+#include "race_audit.h"
 #include "snap.h"
 
 namespace cmtl {
@@ -48,8 +49,19 @@ simulatorReport(const Simulator &sim)
             os << buf;
         }
     }
-    if (const auto *par = dynamic_cast<const ParSimulationTool *>(&sim))
+    if (cfg.dead_elim) {
+        os << "  dead-elim: " << spec.deadBlocksElided
+           << " comb block(s), " << spec.deadNetsElided
+           << " net(s) elided\n";
+    }
+    if (const auto *par = dynamic_cast<const ParSimulationTool *>(&sim)) {
         os << partitionReport(sim.elaboration(), par->plan());
+        // Static race audit verdict: prove (or refute) the partition
+        // invariants that make the BSP schedule race-free.
+        os << "  "
+           << auditPartition(sim.elaboration(), par->plan()).summary()
+           << "\n";
+    }
     if (const ScopeProbe *p = sim.scopeProbe()) {
         char buf[160];
         if (!p->island_settle_seconds.empty()) {

@@ -60,7 +60,7 @@ SimOptions::usage()
     return "[--backend=interp|optinterp|bytecode|cpp-block|cpp-design]"
            " [--threads=N] [--profile[=json]] [--level=fl|cl|clspec|rtl]"
            " [--cycles=N] [--vcd=path] [--checkpoint=path[:N]]"
-           " [--resume=path] [--full] [--help]";
+           " [--resume=path] [--audit] [--dead-elim] [--full] [--help]";
 }
 
 const char *
@@ -87,6 +87,12 @@ SimOptions::helpTable()
         "                      rename and keep-last-3 rotation\n"
         "  --resume=<path>     restore simulator state from a\n"
         "                      checkpoint file before running\n"
+        "  --audit             run the static ParSim race auditor on\n"
+        "                      the active partition and report the\n"
+        "                      verdict (n/a on sequential runs)\n"
+        "  --dead-elim         drop comb blocks whose outputs never\n"
+        "                      reach an observed sink from the schedule\n"
+        "                      and from generated code\n"
         "  --full              paper-scale bench parameters (also\n"
         "                      CMTL_BENCH_FULL=1)\n"
         "  --help              print this table and exit\n";
@@ -128,6 +134,10 @@ SimOptions::parse(int argc, char **argv)
             opts.level = argv[i];
         } else if (!std::strcmp(argv[i], "--full")) {
             opts.full = true;
+        } else if (!std::strcmp(argv[i], "--audit")) {
+            opts.audit = true;
+        } else if (!std::strcmp(argv[i], "--dead-elim")) {
+            opts.cfg.dead_elim = true;
         } else if (optionValue("--cycles", argc, argv, i, value)) {
             opts.cycles = parseCount(argv[0], "--cycles", value);
         } else if (optionValue("--vcd", argc, argv, i, value)) {

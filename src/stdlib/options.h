@@ -25,6 +25,15 @@
  *   --resume=<path>   restore simulator state from a checkpoint
  *   --help            print the full option table and exit
  *
+ * Static-analysis options (dataflow.h / race_audit.h):
+ *
+ *   --audit           run the static ParSim race auditor on the active
+ *                     partition and fold a pass/fail line into
+ *                     simulatorReport(); sequential runs report n/a
+ *   --dead-elim       enable dead-logic elimination: comb blocks whose
+ *                     outputs never reach an observed sink are dropped
+ *                     from the schedule and from generated code
+ *
  * `--threads N` / `--backend b` (separate argument) spellings are
  * accepted as well. Plain arguments are collected in `positional` for
  * the binary's own use (e.g. a problem size), but an unknown `--flag`
@@ -53,6 +62,7 @@ struct SimOptions
     bool profile = false;
     bool profile_json = false;
     bool full = false;        //!< --full or CMTL_BENCH_FULL=1
+    bool audit = false;       //!< --audit: static race audit (ParSim)
     std::string level;        //!< "" when absent
     uint64_t cycles = 0;      //!< --cycles, 0 when absent
     std::string vcd;          //!< --vcd path, "" when absent
