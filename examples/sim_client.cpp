@@ -1,0 +1,406 @@
+/**
+ * @file
+ * SimServer command-line client.
+ *
+ * Usage: sim_client [--connect=/tmp/cmtl-sim.sock] <verb> [options]
+ *
+ * Verbs:
+ *   hello                     version handshake only (liveness probe)
+ *   submit [spec flags] [--detach] [--wait]
+ *                             enqueue one job; --wait blocks for and
+ *                             prints the result line
+ *   status [--job=N]          one job or the whole table
+ *   result --job=N            block until terminal, print result line
+ *   cancel --job=N
+ *   sweep  [spec flags] --inject=0.1,0.2,0.3 --backends=a,b
+ *                             batched grid fan-out; per-point lines
+ *                             stream in completion order
+ *   shutdown                  stop the daemon
+ *   oneshot [spec flags]      run the identical spec locally, no
+ *                             daemon (the digest cross-check baseline)
+ *
+ * Spec flags: --design=mesh --level=fl|cl|clspec|rtl --backend=<b>
+ *   --threads=N --cycles=N --inject=R (rate in [0,1]; comma list for
+ *   sweep) --seed=N --nrouters=N --profile
+ *
+ * --json prints raw reply frames instead of formatted lines. Result
+ * lines carry `digest=<16 hex digits>` so scripts can compare a
+ * server run against a one-shot run byte-for-byte.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "server/server.h"
+
+using namespace cmtl::server;
+
+namespace {
+
+struct Args
+{
+    std::string socket = "/tmp/cmtl-sim.sock";
+    std::string verb;
+    bool json = false;
+    bool detach = false;
+    bool wait = false;
+    std::vector<std::pair<std::string, std::string>> flags;
+
+    const std::string *flag(const std::string &name) const
+    {
+        for (const auto &kv : flags)
+            if (kv.first == name)
+                return &kv.second;
+        return nullptr;
+    }
+};
+
+int
+usage(const char *prog)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--connect=path] "
+                 "hello|submit|status|result|cancel|sweep|shutdown|"
+                 "oneshot [options]\n",
+                 prog);
+    return 2;
+}
+
+Args
+parseArgs(int argc, char **argv)
+{
+    Args args;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (!std::strncmp(arg, "--", 2)) {
+            const char *eq = std::strchr(arg, '=');
+            std::string name = eq ? std::string(arg + 2, eq - arg - 2)
+                                  : std::string(arg + 2);
+            std::string value = eq ? eq + 1 : "";
+            if (name == "connect")
+                args.socket = value;
+            else if (name == "json")
+                args.json = true;
+            else if (name == "detach")
+                args.detach = true;
+            else if (name == "wait")
+                args.wait = true;
+            else
+                args.flags.emplace_back(name, value);
+        } else if (args.verb.empty()) {
+            args.verb = arg;
+        } else {
+            std::fprintf(stderr, "sim_client: stray argument '%s'\n",
+                         arg);
+            std::exit(2);
+        }
+    }
+    return args;
+}
+
+/** Split "0.1,0.2,0.3" into its comma-separated pieces. */
+std::vector<std::string>
+splitList(const std::string &text)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (start <= text.size()) {
+        size_t comma = text.find(',', start);
+        if (comma == std::string::npos) {
+            out.push_back(text.substr(start));
+            break;
+        }
+        out.push_back(text.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+/** Copy the spec flags a verb shares with the server into @p req. */
+void
+fillSpec(const Args &args, Json &req)
+{
+    if (const std::string *v = args.flag("design"))
+        req.set("design", Json::string(*v));
+    if (const std::string *v = args.flag("level"))
+        req.set("level", Json::string(*v));
+    if (const std::string *v = args.flag("backend"))
+        req.set("backend", Json::string(*v));
+    if (const std::string *v = args.flag("threads"))
+        req.set("threads", Json::number(std::atoi(v->c_str())));
+    if (const std::string *v = args.flag("cycles"))
+        req.set("cycles",
+                Json::number(static_cast<uint64_t>(
+                    std::strtoull(v->c_str(), nullptr, 10))));
+    if (const std::string *v = args.flag("seed"))
+        req.set("seed",
+                Json::number(static_cast<uint64_t>(
+                    std::strtoull(v->c_str(), nullptr, 10))));
+    if (const std::string *v = args.flag("nrouters"))
+        req.set("nrouters", Json::number(std::atoi(v->c_str())));
+    if (args.flag("profile"))
+        req.set("profile", Json::boolean(true));
+    if (const std::string *v = args.flag("inject")) {
+        std::vector<std::string> parts = splitList(*v);
+        if (parts.size() == 1) {
+            req.set("injection",
+                    Json::number(std::atof(parts[0].c_str())));
+        } else {
+            Json arr = Json::array();
+            for (const std::string &p : parts)
+                arr.push(Json::number(std::atof(p.c_str())));
+            req.set("injections", std::move(arr));
+        }
+    }
+}
+
+/** The grep-friendly one-line form of a job/point reply. */
+void
+printJobLine(const char *prefix, const Json &reply)
+{
+    std::printf("%s job=%d state=%s design=%s backend=%s threads=%d "
+                "injection=%.4f cycle=%llu",
+                prefix, reply.find("job") ? reply.find("job")->asInt(-1)
+                                          : -1,
+                reply.find("state") ? reply.find("state")->asStr().c_str()
+                                    : "?",
+                reply.find("design")
+                    ? reply.find("design")->asStr().c_str()
+                    : "?",
+                reply.find("backend")
+                    ? reply.find("backend")->asStr().c_str()
+                    : "?",
+                reply.find("threads") ? reply.find("threads")->asInt(1)
+                                      : 1,
+                reply.find("injection")
+                    ? reply.find("injection")->asNum()
+                    : 0.0,
+                static_cast<unsigned long long>(
+                    reply.find("cycle") ? reply.find("cycle")->asU64()
+                                        : 0));
+    if (const Json *v = reply.find("digest"))
+        std::printf(" digest=%s", v->asStr().c_str());
+    if (const Json *v = reply.find("wall_ms"))
+        std::printf(" wall_ms=%.2f", v->asNum());
+    if (const Json *v = reply.find("preemptions"))
+        if (v->asInt() > 0)
+            std::printf(" preemptions=%d", v->asInt());
+    if (const Json *v = reply.find("error"))
+        std::printf(" error=\"%s\"", v->asStr().c_str());
+    std::printf("\n");
+}
+
+/** Print an error reply and return the exit code for it. */
+int
+failFrom(const Json &reply)
+{
+    const Json *err = reply.find("error");
+    std::fprintf(stderr, "sim_client: %s\n",
+                 err ? err->asStr().c_str() : "request failed");
+    return 1;
+}
+
+int
+runOneshot(const Args &args)
+{
+    // Build the identical spec the server would and run it in-process:
+    // the baseline half of the server-vs-oneshot digest cross-check.
+    Json req = Json::object();
+    fillSpec(args, req);
+    JobSpec spec;
+    std::string error;
+    if (!specFromJson(req, &spec, &error)) {
+        std::fprintf(stderr, "sim_client: %s\n", error.c_str());
+        return 1;
+    }
+    try {
+        JobResult res = runOneShot(spec, defaultCorpusFactory());
+        std::printf("oneshot state=done design=%s backend=%s "
+                    "threads=%d injection=%.4f cycle=%llu digest=%s "
+                    "wall_ms=%.2f\n",
+                    spec.design.c_str(), res.backend.c_str(),
+                    spec.cfg.threads, spec.injection,
+                    static_cast<unsigned long long>(res.cycles),
+                    hexU64(res.digest).c_str(), res.wall_ms);
+        if (spec.profile && !res.metrics_json.empty())
+            std::printf("%s\n", res.metrics_json.c_str());
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "sim_client: %s\n", e.what());
+        return 1;
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args = parseArgs(argc, argv);
+    if (args.verb.empty())
+        return usage(argv[0]);
+
+    if (args.verb == "oneshot")
+        return runOneshot(args);
+
+    ProtoClient client;
+    try {
+        client.connect(args.socket);
+    } catch (const ProtoError &e) {
+        std::fprintf(stderr, "sim_client: %s: %s\n",
+                     args.socket.c_str(), e.what());
+        return 1;
+    }
+
+    try {
+        if (args.verb == "hello") {
+            Json req = Json::object();
+            req.set("verb", Json::string("hello"));
+            req.set("version", Json::number(static_cast<uint64_t>(kProtoVersion)));
+            Json reply = client.call(req);
+            if (args.json)
+                std::printf("%s\n", reply.encode().c_str());
+            else
+                std::printf("server %s protocol %d\n",
+                            reply.find("server")
+                                ? reply.find("server")->asStr().c_str()
+                                : "?",
+                            reply.find("version")
+                                ? reply.find("version")->asInt()
+                                : 0);
+            return 0;
+        }
+        if (args.verb == "submit") {
+            Json req = Json::object();
+            req.set("verb", Json::string("submit"));
+            fillSpec(args, req);
+            if (args.detach)
+                req.set("detach", Json::boolean(true));
+            Json reply = client.call(req);
+            if (args.json)
+                std::printf("%s\n", reply.encode().c_str());
+            if (!reply.find("ok") || !reply.find("ok")->b)
+                return failFrom(reply);
+            int id = reply.find("job")->asInt(-1);
+            if (!args.json)
+                std::printf("submitted job=%d\n", id);
+            if (!args.wait)
+                return 0;
+            Json res_req = Json::object();
+            res_req.set("verb", Json::string("result"));
+            res_req.set("job", Json::number(id));
+            Json res = client.call(res_req);
+            if (args.json)
+                std::printf("%s\n", res.encode().c_str());
+            else
+                printJobLine("result", res);
+            return res.find("ok") && res.find("ok")->b ? 0 : 1;
+        }
+        if (args.verb == "status") {
+            Json req = Json::object();
+            req.set("verb", Json::string("status"));
+            if (const std::string *v = args.flag("job"))
+                req.set("job", Json::number(std::atoi(v->c_str())));
+            Json reply = client.call(req);
+            if (args.json) {
+                std::printf("%s\n", reply.encode().c_str());
+                return reply.find("ok") && reply.find("ok")->b ? 0 : 1;
+            }
+            if (!reply.find("ok") || !reply.find("ok")->b)
+                return failFrom(reply);
+            const Json *jobs = reply.find("jobs");
+            for (const Json &job : jobs->arr)
+                printJobLine("status", job);
+            return 0;
+        }
+        if (args.verb == "result" || args.verb == "cancel") {
+            const std::string *jv = args.flag("job");
+            if (!jv) {
+                std::fprintf(stderr, "sim_client: %s wants --job=N\n",
+                             args.verb.c_str());
+                return 2;
+            }
+            Json req = Json::object();
+            req.set("verb", Json::string(args.verb));
+            req.set("job", Json::number(std::atoi(jv->c_str())));
+            Json reply = client.call(req);
+            if (args.json) {
+                std::printf("%s\n", reply.encode().c_str());
+                return reply.find("ok") && reply.find("ok")->b ? 0 : 1;
+            }
+            if (args.verb == "cancel") {
+                if (!reply.find("ok") || !reply.find("ok")->b)
+                    return failFrom(reply);
+                std::printf("cancelled job=%s\n", jv->c_str());
+                return 0;
+            }
+            printJobLine("result", reply);
+            return reply.find("ok") && reply.find("ok")->b ? 0 : 1;
+        }
+        if (args.verb == "sweep") {
+            Json req = Json::object();
+            req.set("verb", Json::string("sweep"));
+            fillSpec(args, req);
+            if (const std::string *v = args.flag("backends")) {
+                Json arr = Json::array();
+                for (const std::string &b : splitList(*v))
+                    arr.push(Json::string(b));
+                req.set("backends", std::move(arr));
+            }
+            client.send(req);
+            // Header, then one frame per point in completion order,
+            // then the sweep_done trailer.
+            int failed = 0;
+            for (;;) {
+                Json frame = client.readReply();
+                if (args.json)
+                    std::printf("%s\n", frame.encode().c_str());
+                if (frame.find("sweep_done")) {
+                    if (!args.json)
+                        std::printf(
+                            "sweep done: %d points, %d preemptions\n",
+                            frame.find("points")
+                                ? frame.find("points")->asInt()
+                                : 0,
+                            frame.find("preemptions")
+                                ? frame.find("preemptions")->asInt()
+                                : 0);
+                    break;
+                }
+                if (frame.find("sweep")) {
+                    if (!args.json)
+                        std::printf("sweep of %d points started\n",
+                                    frame.find("points")
+                                        ? frame.find("points")->asInt()
+                                        : 0);
+                    continue;
+                }
+                if (!frame.find("ok") || !frame.find("ok")->b) {
+                    if (!frame.find("job"))
+                        return failFrom(frame);
+                    ++failed;
+                }
+                if (!args.json)
+                    printJobLine("point", frame);
+            }
+            return failed ? 1 : 0;
+        }
+        if (args.verb == "shutdown") {
+            Json req = Json::object();
+            req.set("verb", Json::string("shutdown"));
+            Json reply = client.call(req);
+            if (args.json)
+                std::printf("%s\n", reply.encode().c_str());
+            else
+                std::printf("server stopping\n");
+            return 0;
+        }
+    } catch (const ProtoError &e) {
+        std::fprintf(stderr, "sim_client: %s\n", e.what());
+        return 1;
+    }
+    return usage(argv[0]);
+}

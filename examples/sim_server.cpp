@@ -1,0 +1,88 @@
+/**
+ * @file
+ * SimServer daemon: a long-lived simulation service.
+ *
+ * Binds a Unix-domain socket, elaborates designs from the registered
+ * corpus on demand, and schedules client jobs over a bounded thread
+ * budget with SimSnap-backed preemption. One resident process keeps
+ * the SimJIT cache warm across jobs, so a parameter sweep pays one
+ * compile instead of one per point.
+ *
+ * Usage: sim_server [--listen=/tmp/cmtl-sim.sock] [--jobs=N]
+ *                   [--backend=<b>]
+ *
+ * --listen   socket path to bind (default /tmp/cmtl-sim.sock)
+ * --jobs     concurrent-job thread budget (default 2); a job asking
+ *            for --threads T draws min(T, jobs) units
+ * --backend  prewarm this backend at startup: the daemon runs one
+ *            tiny job per design so the first client request never
+ *            pays a cold JIT compile
+ *
+ * Stop with SIGINT/SIGTERM or the client's shutdown verb:
+ * `sim_client shutdown`.
+ */
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <thread>
+
+#include "server/server.h"
+#include "stdlib/options.h"
+
+using cmtl::server::ServerConfig;
+using cmtl::server::SimServer;
+using cmtl::stdlib::SimOptions;
+
+int
+main(int argc, char **argv)
+{
+    SimOptions opts = SimOptions::parse(argc, argv);
+
+    ServerConfig cfg;
+    if (!opts.listen.empty())
+        cfg.socket_path = opts.listen;
+    if (opts.jobs > 0)
+        cfg.jobs = opts.jobs;
+    if (opts.backend_set)
+        cfg.prewarm_backend = opts.cfg.toString();
+
+    SimServer server(cfg);
+    server.registerDefaultCorpus();
+
+    std::string error;
+    if (!server.start(&error)) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], error.c_str());
+        return 1;
+    }
+    std::printf("sim_server: listening on %s (jobs=%d, queue=%d%s%s)\n",
+                cfg.socket_path.c_str(), cfg.jobs, cfg.queue_cap,
+                cfg.prewarm_backend.empty() ? "" : ", prewarm=",
+                cfg.prewarm_backend.c_str());
+    std::fflush(stdout);
+
+    // Signals are consumed by a dedicated sigwait thread: handlers
+    // can't safely take the locks stop() needs.
+    sigset_t set;
+    sigemptyset(&set);
+    sigaddset(&set, SIGINT);
+    sigaddset(&set, SIGTERM);
+    pthread_sigmask(SIG_BLOCK, &set, nullptr);
+    std::thread sig_thread([&] {
+        int sig = 0;
+        sigwait(&set, &sig);
+        server.stop();
+    });
+
+    server.wait();
+    server.stop();
+    // A shutdown-verb exit leaves sigwait parked; send it the signal
+    // it is waiting for (stop() is idempotent). raise() would target
+    // this thread, where SIGTERM stays blocked forever — the signal
+    // must be process-directed for sigwait to dequeue it.
+    ::kill(::getpid(), SIGTERM);
+    sig_thread.join();
+    std::printf("sim_server: stopped\n");
+    return 0;
+}

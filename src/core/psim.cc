@@ -368,7 +368,7 @@ ParSimulationTool::adoptNativeTier()
     spec_stats_.wrapSeconds = cpp_lib_.wrapSeconds();
     spec_stats_.cacheHit = cpp_lib_.cacheHit();
     spec_stats_.numGroups = design_nunits_;
-    spec_stats_.tierSwapCycle = static_cast<int64_t>(ncycles_);
+    spec_stats_.tierSwapCycle = static_cast<int64_t>(numCycles());
     comb_steps_ = std::move(nat_comb_steps_);
     tick_steps_ = std::move(nat_tick_steps_);
     design_native_ = true;
@@ -649,9 +649,9 @@ ParSimulationTool::cycle()
     runPhase(Cmd::Tick);
     runPhase(Cmd::Flop);
     settlePhase();
-    ++ncycles_;
+    uint64_t now = ncycles_.fetch_add(1, std::memory_order_relaxed) + 1;
     for (const auto &hook : cycle_hooks_)
-        hook(ncycles_);
+        hook(now);
 }
 
 void

@@ -117,6 +117,19 @@ Simulator::cycle(uint64_t n)
         cycle();
 }
 
+bool
+Simulator::runUntil(uint64_t target_cycle)
+{
+    while (numCycles() < target_cycle) {
+        // Consume the request so the next runUntil resumes cleanly; a
+        // request landing mid-cycle() is honored before the next one.
+        if (pause_requested_.exchange(false, std::memory_order_acq_rel))
+            return false;
+        cycle();
+    }
+    return true;
+}
+
 void
 Simulator::reset(int ncycles)
 {
@@ -655,7 +668,7 @@ SimulationTool::adoptNativeTier()
     spec_stats_.wrapSeconds = cpp_lib_.wrapSeconds();
     spec_stats_.cacheHit = cpp_lib_.cacheHit();
     spec_stats_.numGroups = design_nunits_;
-    spec_stats_.tierSwapCycle = static_cast<int64_t>(ncycles_);
+    spec_stats_.tierSwapCycle = static_cast<int64_t>(numCycles());
     active_comb_ = &design_comb_steps_;
     active_tick_ = &design_tick_steps_;
     design_native_ = true;
@@ -921,9 +934,9 @@ SimulationTool::cycle()
         }
         settle();
     }
-    ++ncycles_;
+    uint64_t now = ncycles_.fetch_add(1, std::memory_order_relaxed) + 1;
     for (const auto &hook : cycle_hooks_)
-        hook(ncycles_);
+        hook(now);
 }
 
 void

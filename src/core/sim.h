@@ -273,8 +273,52 @@ class Simulator : public SignalAccess
     /** Assert the implicit reset for @p ncycles cycles. */
     void reset(int ncycles = 1);
 
-    uint64_t numCycles() const { return ncycles_; }
+    uint64_t
+    numCycles() const
+    {
+        return ncycles_.load(std::memory_order_relaxed);
+    }
     const SpecStats &specStats() const { return spec_stats_; }
+
+    // --- cooperative pause (SimServer scheduler, debugger) ---------
+
+    /**
+     * Ask the running kernel to pause at the next cycle boundary.
+     * Thread-safe: any thread may request a pause while another runs
+     * runUntil(). The flag is consumed by runUntil(), which returns
+     * false with the simulator stopped between cycles — ParSim workers
+     * parked, all state quiescent — so snapSave() may capture it and a
+     * later restore resumes bit-identically.
+     */
+    void
+    requestPause()
+    {
+        pause_requested_.store(true, std::memory_order_release);
+    }
+
+    /** True while a pause request is pending (not yet consumed). */
+    bool
+    pauseRequested() const
+    {
+        return pause_requested_.load(std::memory_order_acquire);
+    }
+
+    /** Drop a pending pause request without honoring it. */
+    void
+    clearPauseRequest()
+    {
+        pause_requested_.store(false, std::memory_order_relaxed);
+    }
+
+    /**
+     * Run cycles until numCycles() reaches @p target_cycle or a pause
+     * is requested. Returns true when the target was reached, false
+     * when a pause request stopped the run early (the request is
+     * consumed; call runUntil again to resume). The pause flag is
+     * checked once per cycle boundary on both kernels, so the
+     * disabled-path cost is one atomic load per cycle.
+     */
+    bool runUntil(uint64_t target_cycle);
 
     /**
      * True while a tiered cpp-design simulator is still executing on
@@ -330,13 +374,23 @@ class Simulator : public SignalAccess
     /** Re-register dynamically flopped nets on a fresh simulator. */
     virtual void registerDynamicFlops(const std::vector<int> &nets) = 0;
     /** Overwrite the cycle counter (snapshot restore only). */
-    void setRestoredCycleCount(uint64_t n) { ncycles_ = n; }
+    void
+    setRestoredCycleCount(uint64_t n)
+    {
+        ncycles_.store(n, std::memory_order_relaxed);
+    }
 
   protected:
     std::shared_ptr<Elaboration> elab_;
     SimConfig cfg_;
     SpecStats spec_stats_;
-    uint64_t ncycles_ = 0;
+    /**
+     * Atomic so progress monitors (SimServer job status) may read the
+     * counter while another thread cycles the kernel; all accesses are
+     * relaxed — the counter orders nothing.
+     */
+    std::atomic<uint64_t> ncycles_{0};
+    std::atomic<bool> pause_requested_{false};
     std::vector<std::function<void(uint64_t)>> cycle_hooks_;
     ScopeProbe *probe_ = nullptr;
 };

@@ -708,10 +708,12 @@ snapLoadFile(const std::string &path)
 
 CheckpointManager::CheckpointManager(std::string path,
                                      uint64_t every_n_cycles,
-                                     int keep_last)
-    : path_(std::move(path)), every_(every_n_cycles),
-      keep_last_(keep_last)
+                                     int keep_last, std::string tag)
+    : path_(std::move(path)), tag_(std::move(tag)),
+      every_(every_n_cycles), keep_last_(keep_last)
 {
+    if (!tag_.empty())
+        path_ += "." + tag_;
 }
 
 void

@@ -193,19 +193,28 @@ std::vector<std::string> opaqueStateModels(const Elaboration &elab);
  * last good checkpoint. The most recent @p keep_last cycle-stamped
  * copies ("path.<cycle>") are kept alongside the stable latest.
  * The manager must outlive the simulator's cycling.
+ *
+ * A non-empty @p tag scopes every filename the manager touches to
+ * "path.tag" (latest) and "path.tag.<cycle>" (rotation), so multiple
+ * writers — e.g. two SimServer jobs checkpointing the same design to
+ * the same base path — never clobber each other's latest image or
+ * rotation set. Tags are the job-id convention of the server
+ * scheduler ("job<N>") but any filename-safe string works.
  */
 class CheckpointManager
 {
   public:
     explicit CheckpointManager(std::string path, uint64_t every_n_cycles,
-                               int keep_last = 3);
+                               int keep_last = 3, std::string tag = "");
 
     /** Register the periodic hook on @p sim. */
     void attach(Simulator &sim);
     /** Write a checkpoint right now (atomic rename + rotation). */
     void save(const Simulator &sim, uint64_t cycle);
 
+    /** The effective (tag-scoped) path of the stable latest image. */
     const std::string &path() const { return path_; }
+    const std::string &tag() const { return tag_; }
     uint64_t everyCycles() const { return every_; }
     const std::vector<std::string> &rotated() const { return rotated_; }
     uint64_t lastSavedCycle() const { return last_cycle_; }
@@ -213,6 +222,7 @@ class CheckpointManager
 
   private:
     std::string path_;
+    std::string tag_;
     uint64_t every_;
     int keep_last_;
     std::vector<std::string> rotated_;

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * SimServer: a long-lived simulation-as-a-service daemon.
+ *
+ * The daemon holds a registered design corpus, binds a Unix-domain
+ * socket, and serves length-prefixed JSON requests (see proto.h) by
+ * feeding a JobScheduler. One resident process amortizes what repeated
+ * one-shot CLI runs pay every time — process startup, design
+ * registration, and above all the SimJIT compile: the on-disk cache is
+ * warm after the first job of a given design x backend, so a hundred
+ * sweep points pay one compile.
+ *
+ * Verbs: hello (version handshake), submit, status, result (blocking),
+ * cancel, sweep (batched grid fan-out streaming per-point frames in
+ * completion order), shutdown. Jobs are tied to the submitting
+ * connection unless submitted with "detach":true; when a client
+ * disconnects, its attached jobs are cancelled (reaped) so an
+ * abandoned sweep never pins the queue.
+ */
+
+#ifndef CMTL_SERVER_SERVER_H
+#define CMTL_SERVER_SERVER_H
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "jobs.h"
+#include "proto.h"
+
+namespace cmtl {
+namespace server {
+
+struct ServerConfig
+{
+    std::string socket_path = "/tmp/cmtl-sim.sock";
+    int jobs = 2;        //!< concurrent-job thread budget
+    int queue_cap = 64;  //!< max jobs waiting or running
+    /** Backend to JIT-prewarm at startup ("" = none): the daemon runs
+     *  one tiny job so the first client never pays the cold compile. */
+    std::string prewarm_backend;
+};
+
+/**
+ * The factory behind the built-in corpus: "mesh" — MeshTrafficTop at
+ * spec.level (fl|cl|clspec|rtl) with spec.nrouters routers, 4-entry
+ * queues, spec.injection, spec.seed. Exported so sim_client's oneshot
+ * mode and the bench build byte-identical models to the daemon's.
+ */
+DesignFactory defaultCorpusFactory();
+
+/** Build a JobSpec from a request object; false + *error on bad
+ *  fields (unknown backend, out-of-range injection, ...). */
+bool specFromJson(const Json &req, JobSpec *spec, std::string *error);
+
+class SimServer
+{
+  public:
+    explicit SimServer(ServerConfig cfg);
+    ~SimServer();
+    SimServer(const SimServer &) = delete;
+    SimServer &operator=(const SimServer &) = delete;
+
+    /** Register @p name; replaces an existing registration. */
+    void registerDesign(const std::string &name, DesignFactory factory);
+    /** Register the built-in corpus (currently "mesh"). */
+    void registerDefaultCorpus();
+    std::vector<std::string> designNames() const;
+
+    /**
+     * Bind the socket, start the scheduler and the accept loop.
+     * Returns false with *error on bind/listen failure (e.g. a live
+     * daemon already owns the path).
+     */
+    bool start(std::string *error);
+
+    /** Block until a client's shutdown verb (or stop()) lands. */
+    void wait();
+
+    /** Shut everything down: stop accepting, cancel jobs, join
+     *  connection threads, unlink the socket. Idempotent. */
+    void stop();
+
+    bool running() const { return running_.load(); }
+    JobScheduler &scheduler() { return *scheduler_; }
+    const ServerConfig &config() const { return cfg_; }
+
+  private:
+    void acceptLoop();
+    void handleConnection(int fd, uint64_t conn_id);
+    /** One request frame -> zero or more reply frames on @p fd.
+     *  Returns false when the connection should close (shutdown). */
+    bool dispatch(int fd, uint64_t conn_id, const Json &req);
+    void handleSweep(int fd, uint64_t conn_id, const Json &req);
+    Json jobReply(const JobInfo &info) const;
+    void prewarm();
+
+    ServerConfig cfg_;
+    std::map<std::string, DesignFactory> designs_;
+    mutable std::mutex designs_mu_;
+
+    std::unique_ptr<JobScheduler> scheduler_;
+    int listen_fd_ = -1;
+    std::thread accept_thread_;
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stop_requested_{false};
+
+    std::mutex conns_mu_;
+    std::condition_variable shutdown_cv_;
+    std::map<uint64_t, int> conn_fds_; //!< live connections for stop()
+    std::vector<std::thread> conn_threads_;
+    uint64_t next_conn_id_ = 1;
+};
+
+} // namespace server
+} // namespace cmtl
+
+#endif // CMTL_SERVER_SERVER_H

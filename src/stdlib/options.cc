@@ -60,7 +60,8 @@ SimOptions::usage()
     return "[--backend=interp|optinterp|bytecode|cpp-block|cpp-design]"
            " [--threads=N] [--profile[=json]] [--level=fl|cl|clspec|rtl]"
            " [--cycles=N] [--vcd=path] [--checkpoint=path[:N]]"
-           " [--resume=path] [--audit] [--dead-elim] [--full] [--help]";
+           " [--resume=path] [--listen=socket] [--jobs=N] [--audit]"
+           " [--dead-elim] [--full] [--help]";
 }
 
 const char *
@@ -87,6 +88,10 @@ SimOptions::helpTable()
         "                      rename and keep-last-3 rotation\n"
         "  --resume=<path>     restore simulator state from a\n"
         "                      checkpoint file before running\n"
+        "  --listen=<path>     Unix-domain socket path a SimServer\n"
+        "                      daemon binds and serves jobs on\n"
+        "  --jobs=<n>          SimServer concurrent-job thread budget\n"
+        "                      (ParSim jobs draw their --threads worth)\n"
         "  --audit             run the static ParSim race auditor on\n"
         "                      the active partition and report the\n"
         "                      verdict (n/a on sequential runs)\n"
@@ -163,6 +168,22 @@ SimOptions::parse(int argc, char **argv)
             }
         } else if (optionValue("--resume", argc, argv, i, value)) {
             opts.resume = value;
+        } else if (optionValue("--listen", argc, argv, i, value)) {
+            if (value.empty()) {
+                std::fprintf(stderr,
+                             "%s: --listen wants a socket path\n",
+                             argv[0]);
+                std::exit(2);
+            }
+            opts.listen = value;
+        } else if (optionValue("--jobs", argc, argv, i, value)) {
+            opts.jobs = std::atoi(value.c_str());
+            if (opts.jobs < 1) {
+                std::fprintf(stderr, "%s: --jobs wants a positive "
+                                     "integer, got '%s'\n",
+                             argv[0], value.c_str());
+                std::exit(2);
+            }
         } else if (!std::strcmp(argv[i], "--help")) {
             std::printf("usage: %s [options]\n%s", argv[0],
                         helpTable());

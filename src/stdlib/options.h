@@ -34,6 +34,12 @@
  *                     outputs never reach an observed sink are dropped
  *                     from the schedule and from generated code
  *
+ * SimServer daemon options (src/server/server.h):
+ *
+ *   --listen=<path>   Unix-domain socket the sim_server daemon binds
+ *   --jobs=<n>        concurrent-job thread budget of the daemon's
+ *                     scheduler (ParSim jobs draw cfg.threads units)
+ *
  * `--threads N` / `--backend b` (separate argument) spellings are
  * accepted as well. Plain arguments are collected in `positional` for
  * the binary's own use (e.g. a problem size), but an unknown `--flag`
@@ -69,6 +75,8 @@ struct SimOptions
     std::string checkpoint_path;    //!< --checkpoint path, "" = off
     uint64_t checkpoint_every = 0;  //!< cycles between checkpoints
     std::string resume;             //!< --resume path, "" when absent
+    std::string listen;             //!< --listen socket path, "" absent
+    int jobs = 0;                   //!< --jobs budget, 0 when absent
     std::vector<std::string> positional;
 
     /** Parse argv (argv[0] is skipped); see the file comment. */

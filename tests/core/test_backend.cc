@@ -593,6 +593,45 @@ TEST(SimOptionsParse, CheckpointVcdAndResumeOptions)
     EXPECT_EQ(opts.resume, "mesh.snap.5000");
 }
 
+TEST(SimOptionsParse, ListenAndJobsOptions)
+{
+    std::vector<std::string> args = {"prog", "--listen=/tmp/sim.sock",
+                                     "--jobs=4"};
+    auto argv = argvOf(args);
+    auto opts = cmtl::stdlib::SimOptions::parse(
+        static_cast<int>(argv.size()), argv.data());
+    EXPECT_EQ(opts.listen, "/tmp/sim.sock");
+    EXPECT_EQ(opts.jobs, 4);
+}
+
+TEST(SimOptionsParse, ListenAndJobsDefaultOff)
+{
+    std::vector<std::string> args = {"prog"};
+    auto argv = argvOf(args);
+    auto opts = cmtl::stdlib::SimOptions::parse(
+        static_cast<int>(argv.size()), argv.data());
+    EXPECT_TRUE(opts.listen.empty());
+    EXPECT_EQ(opts.jobs, 0);
+}
+
+TEST(SimOptionsParseDeath, EmptyListenPathExits2)
+{
+    std::vector<std::string> args = {"prog", "--listen="};
+    auto argv = argvOf(args);
+    EXPECT_EXIT(cmtl::stdlib::SimOptions::parse(
+                    static_cast<int>(argv.size()), argv.data()),
+                ::testing::ExitedWithCode(2), "socket path");
+}
+
+TEST(SimOptionsParseDeath, NonPositiveJobsExits2)
+{
+    std::vector<std::string> args = {"prog", "--jobs=0"};
+    auto argv = argvOf(args);
+    EXPECT_EXIT(cmtl::stdlib::SimOptions::parse(
+                    static_cast<int>(argv.size()), argv.data()),
+                ::testing::ExitedWithCode(2), "positive integer");
+}
+
 TEST(SimOptionsParse, CheckpointIntervalDefaultsAndColonPaths)
 {
     std::vector<std::string> args = {"prog", "--checkpoint=dir:v2/m.snap"};

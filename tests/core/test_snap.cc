@@ -539,6 +539,52 @@ TEST(Checkpointing, PeriodicSaveRotationAndResume)
     std::remove((path + ".40").c_str());
 }
 
+// Job-scoped tags: two managers sharing one base path write disjoint
+// "base.tag" / "base.tag.<cycle>" families and never the untagged
+// base — concurrent server jobs can all point at one checkpoint path.
+TEST(Checkpointing, TagScopesConcurrentManagers)
+{
+    const std::string base = ::testing::TempDir() + "ckpt_tag_" +
+                             std::to_string(::getpid()) + ".snap";
+    std::remove(base.c_str());
+
+    SnapFixture fix_a, fix_b;
+    auto elab_a = fix_a.elaborate();
+    auto elab_b = fix_b.elaborate();
+    SimulationTool sim_a(elab_a, backendCfg("optinterp", 1));
+    SimulationTool sim_b(elab_b, backendCfg("optinterp", 1));
+    CheckpointManager ckpt_a(base, /*every=*/10, /*keep_last=*/2,
+                             "job1");
+    CheckpointManager ckpt_b(base, /*every=*/10, /*keep_last=*/2,
+                             "job2");
+    EXPECT_EQ(ckpt_a.tag(), "job1");
+    EXPECT_EQ(ckpt_a.path(), base + ".job1");
+    ckpt_a.attach(sim_a);
+    ckpt_b.attach(sim_b);
+    sim_a.reset();
+    sim_b.reset();
+    driveFixture(fix_a, sim_a, 24); // saves at 10, 20
+    driveFixture(fix_b, sim_b, 14); // saves at 10
+
+    EXPECT_FALSE(slurp(base + ".job1").empty());
+    EXPECT_FALSE(slurp(base + ".job2").empty());
+    EXPECT_TRUE(slurp(base).empty())
+        << "untagged checkpoint written despite tags";
+    EXPECT_EQ(snapLoadFile(base + ".job1").cycle, 20u);
+    EXPECT_EQ(snapLoadFile(base + ".job2").cycle, 10u);
+    // Stamped rotation copies are tag-scoped too.
+    EXPECT_EQ(slurp(base + ".job1"), slurp(base + ".job1.20"));
+
+    // An untagged manager is byte-compatible with the old layout.
+    CheckpointManager plain(base, 10);
+    EXPECT_EQ(plain.tag(), "");
+    EXPECT_EQ(plain.path(), base);
+
+    for (const char *suffix :
+         {".job1", ".job1.10", ".job1.20", ".job2", ".job2.10"})
+        std::remove((base + suffix).c_str());
+}
+
 // ------------------------------------------------- stimulus replay
 
 TEST(StimReplay, RecordedTapeReplaysDeterministically)
