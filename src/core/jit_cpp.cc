@@ -338,4 +338,18 @@ CppJit::compile(const std::string &source, int ngroups)
     return lib;
 }
 
+std::vector<CppJitLibrary>
+CppJit::compileMany(const std::vector<std::string> &sources,
+                    const std::vector<int> &ngroups)
+{
+    if (sources.size() != ngroups.size())
+        throw std::logic_error(
+            "SimJIT: compileMany sources/ngroups size mismatch");
+    std::vector<CppJitLibrary> libs;
+    libs.reserve(sources.size());
+    for (size_t i = 0; i < sources.size(); ++i)
+        libs.push_back(compile(sources[i], ngroups[i]));
+    return libs;
+}
+
 } // namespace cmtl

@@ -118,6 +118,17 @@ class CppJit
      */
     CppJitLibrary compile(const std::string &source, int ngroups);
 
+    /**
+     * Compile several independent translation units — one library per
+     * source, each with its own cache entry, so per-unit cache hits
+     * survive edits to the others. ParSim's cpp-design tier uses this
+     * for its one-TU-per-island modules. @p ngroups must parallel
+     * @p sources. Throws on the first failing compile.
+     */
+    std::vector<CppJitLibrary>
+    compileMany(const std::vector<std::string> &sources,
+                const std::vector<int> &ngroups);
+
   private:
     std::string cache_dir_;
     bool use_cache_;

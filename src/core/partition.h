@@ -41,6 +41,22 @@ namespace cmtl {
 /** Island index of the external participant (main thread). */
 constexpr int kExternalIsland = -1;
 
+/** Tuning knobs for partitionDesign(). */
+struct PartitionOptions
+{
+    /**
+     * Run the KLFM-style min-cut refinement pass over the chunked
+     * seed: iteratively move boundary clusters between islands when
+     * the move shrinks the cut (tokens first, comb edges as the
+     * tiebreak) without exceeding the balance bound.
+     */
+    bool refine = true;
+    /** Maximum refinement passes (a pass locks each moved cluster). */
+    int maxRefinePasses = 8;
+    /** An island may grow to (1+slack)*mean weight (or the seed max). */
+    double balanceSlack = 0.10;
+};
+
 /** One island of the partitioned design. */
 struct PartitionIsland
 {
@@ -90,6 +106,22 @@ struct PartitionPlan
     int cutCombEdges = 0;   //!< comb writer->reader pairs crossing islands
     int nclusters = 0;      //!< atomic clusters before balancing
 
+    /**
+     * Islands the caller asked for, before clamping to the cluster
+     * count and compacting islands the chunker left empty. nislands
+     * is always the *effective* count: every island in the plan has
+     * at least one cluster (or the design has none at all).
+     */
+    int requestedIslands = 0;
+
+    /** Cut of the weight-balanced seed, before refinement. */
+    int seedCutTokens = 0;
+    int seedCutCombEdges = 0;
+
+    /** Refinement effort actually spent. */
+    int refinePasses = 0;
+    int refineMoves = 0;
+
     /** max island weight / mean island weight (1.0 = perfect). */
     double imbalance() const;
 };
@@ -97,10 +129,16 @@ struct PartitionPlan
 /**
  * Partition @p elab into @p nislands islands.
  *
- * @p nislands is clamped to [1, number of atomic clusters]. Throws
+ * @p nislands is clamped to [1, number of atomic clusters], and
+ * islands the weight-balancer leaves empty are compacted away — the
+ * plan's nislands is the effective count, requestedIslands the ask.
+ * By default the weight-balanced seed is improved by a KLFM-style
+ * min-cut refinement pass (see PartitionOptions). Throws
  * std::logic_error if the design has a combinational cycle (ParSim is
  * statically scheduled, like SchedMode::Static).
  */
+PartitionPlan partitionDesign(const Elaboration &elab, int nislands,
+                              const PartitionOptions &opts);
 PartitionPlan partitionDesign(const Elaboration &elab, int nislands);
 
 /** Human-readable partition-quality report (one line per island). */

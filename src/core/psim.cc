@@ -60,6 +60,7 @@ ParSimulationTool::ParSimulationTool(std::shared_ptr<Elaboration> elab,
         sig->setAccess(this);
     try {
         buildIslandSchedules();
+        buildGating();
         double create_before_spec = sw.elapsed();
         if (cfg_.spec != SpecMode::None)
             specialize();
@@ -176,6 +177,65 @@ ParSimulationTool::buildIslandSchedules()
 }
 
 void
+ParSimulationTool::buildGating()
+{
+    // The fused cpp-design tier runs each settle level as one compiled
+    // call per island with no change detection anywhere, so gating
+    // stays off there (matching the sequential kernel's policy).
+    gating_ = cfg_.gating && !designMode();
+    if (!gating_)
+        return;
+    const int n = plan_.nislands;
+    island_dirty_ = std::vector<std::atomic<uint8_t>>(n);
+    for (auto &flag : island_dirty_)
+        flag.store(1, std::memory_order_relaxed);
+    settle_active_.assign(n, 1);
+
+    comb_push_islands_.assign(n, {});
+    for (int i = 0; i < n; ++i) {
+        std::vector<char> seen(n, 0);
+        for (const auto &level : comb_pushes_[i]) {
+            for (const CopyOp &op : level) {
+                if (!seen[op.dst]) {
+                    seen[op.dst] = 1;
+                    comb_push_islands_[i].push_back(op.dst);
+                }
+            }
+        }
+    }
+
+    // Islands whose tick blocks write blockingly — an array, or a net
+    // that is never statically flopped — mutate their own comb inputs
+    // without change detection; mark them dirty every cycle. (The
+    // cross-island half of a blocking write is change-detected by the
+    // flop-phase pushes.)
+    tick_dirty_island_.assign(n, 0);
+    for (int i = 0; i < n; ++i) {
+        for (const PStep &step : tick_steps_[i]) {
+            for (int t : elab_->blocks[step.block].writes) {
+                if (t >= static_cast<int>(elab_->nets.size()) ||
+                    !elab_->nets[t].floppedStatic) {
+                    tick_dirty_island_[i] = 1;
+                    break;
+                }
+            }
+            if (tick_dirty_island_[i])
+                break;
+        }
+    }
+}
+
+void
+ParSimulationTool::markReaderIslandsDirty(int token)
+{
+    for (int isl : plan_.readerIslands[token])
+        island_dirty_[isl].store(1, std::memory_order_relaxed);
+    int owner = plan_.ownerOf[token];
+    if (owner >= 0)
+        island_dirty_[owner].store(1, std::memory_order_relaxed);
+}
+
+void
 ParSimulationTool::specialize()
 {
     Stopwatch sw;
@@ -286,55 +346,64 @@ ParSimulationTool::specializeDesign()
     // modules (one per superstep level for comb — the bulk-synchronous
     // push points are immovable — one for the tick list, one for the
     // flop phase), built over the bytecode-marked schedules so
-    // unspecialized blocks keep their slot-evaluated steps.
+    // unspecialized blocks keep their slot-evaluated steps. One
+    // translation unit is emitted PER ISLAND (group indices are local
+    // to the island's library): each island's module gets its own
+    // cache entry, so repartitioning or editing one island's logic
+    // recompiles only the TUs whose source actually changed.
     nat_comb_steps_ = comb_steps_;
     nat_tick_steps_ = tick_steps_;
-    std::vector<CppUnit> units;
-    auto fuse = [&](std::vector<PStep> &steps, bool levelBound) {
-        std::vector<PStep> out;
-        size_t i = 0;
-        while (i < steps.size()) {
-            if (!specialized_[steps[i].block]) {
-                out.push_back(steps[i]);
-                ++i;
-                continue;
-            }
-            CppUnit unit;
-            size_t j = i;
-            while (j < steps.size() && specialized_[steps[j].block] &&
-                   (!levelBound || steps[j].level == steps[i].level)) {
-                unit.items.push_back(CppUnit::Item{steps[j].block, -1});
-                ++j;
-            }
-            PStep step;
-            step.kind = PStep::Kind::Native;
-            step.block = steps[i].block;
-            step.group = static_cast<int>(units.size());
-            step.level = steps[i].level;
-            units.push_back(std::move(unit));
-            out.push_back(step);
-            i = j;
-        }
-        steps = std::move(out);
-    };
+    island_flop_unit_.assign(plan_.nislands, -1);
+    island_sources_.assign(plan_.nislands, {});
+    island_nunits_.assign(plan_.nislands, 0);
+    design_nunits_ = 0;
+    spec_stats_.emittedTuBytes = 0;
     for (int i = 0; i < plan_.nislands; ++i) {
+        std::vector<CppUnit> units;
+        auto fuse = [&](std::vector<PStep> &steps, bool levelBound) {
+            std::vector<PStep> out;
+            size_t k = 0;
+            while (k < steps.size()) {
+                if (!specialized_[steps[k].block]) {
+                    out.push_back(steps[k]);
+                    ++k;
+                    continue;
+                }
+                CppUnit unit;
+                size_t j = k;
+                while (j < steps.size() && specialized_[steps[j].block] &&
+                       (!levelBound || steps[j].level == steps[k].level)) {
+                    unit.items.push_back(CppUnit::Item{steps[j].block, -1});
+                    ++j;
+                }
+                PStep step;
+                step.kind = PStep::Kind::Native;
+                step.block = steps[k].block;
+                step.group = static_cast<int>(units.size());
+                step.level = steps[k].level;
+                units.push_back(std::move(unit));
+                out.push_back(step);
+                k = j;
+            }
+            steps = std::move(out);
+        };
         fuse(nat_comb_steps_[i], true);
         fuse(nat_tick_steps_[i], false);
-    }
-    // Per-island flop modules over the island's owned statically
-    // flopped nets (dynamic lambda flops stay on the coordinator).
-    island_flop_unit_.assign(plan_.nislands, -1);
-    for (int i = 0; i < plan_.nislands; ++i) {
-        CppUnit unit;
+        // Island flop module over its owned statically flopped nets
+        // (dynamic lambda flops stay on the coordinator).
+        CppUnit flop_unit;
         for (int net : plan_.islands[i].flopNets)
-            unit.items.push_back(CppUnit::Item{-1, net});
+            flop_unit.items.push_back(CppUnit::Item{-1, net});
         island_flop_unit_[i] = static_cast<int>(units.size());
-        units.push_back(std::move(unit));
-    }
+        units.push_back(std::move(flop_unit));
 
-    design_source_ = cppEmitProgram(*elab_, *replicas_[0], units);
-    spec_stats_.emittedTuBytes = design_source_.size();
-    design_nunits_ = static_cast<int>(units.size());
+        // Replica 0's offsets are every replica's offsets, so one
+        // emission serves whichever replica the code later runs on.
+        island_sources_[i] = cppEmitProgram(*elab_, *replicas_[0], units);
+        island_nunits_[i] = static_cast<int>(units.size());
+        spec_stats_.emittedTuBytes += island_sources_[i].size();
+        design_nunits_ += island_nunits_[i];
+    }
     spec_stats_.codegenSeconds += sw.elapsed();
     spec_stats_.tiered = cfg_.jit_tiered;
 
@@ -345,7 +414,7 @@ ParSimulationTool::specializeDesign()
         // Workers have not started yet, so adopting here is trivially
         // safe; the first cycle runs native.
         CppJit jit(cache_dir, cfg_.jit_cache, CppJit::kWholeDesignFlags);
-        cpp_lib_ = jit.compile(design_source_, design_nunits_);
+        island_libs_ = jit.compileMany(island_sources_, island_nunits_);
         adoptNativeTier();
         return;
     }
@@ -353,7 +422,8 @@ ParSimulationTool::specializeDesign()
         try {
             CppJit jit(cache_dir, cfg_.jit_cache,
                        CppJit::kWholeDesignFlags);
-            pending_lib_ = jit.compile(design_source_, design_nunits_);
+            pending_libs_ =
+                jit.compileMany(island_sources_, island_nunits_);
         } catch (...) {
             jit_error_ = std::current_exception();
         }
@@ -364,9 +434,16 @@ ParSimulationTool::specializeDesign()
 void
 ParSimulationTool::adoptNativeTier()
 {
-    spec_stats_.compileSeconds = cpp_lib_.compileSeconds();
-    spec_stats_.wrapSeconds = cpp_lib_.wrapSeconds();
-    spec_stats_.cacheHit = cpp_lib_.cacheHit();
+    // Aggregate over the per-island libraries: total build time, and
+    // a cache hit only when every island's TU hit.
+    spec_stats_.compileSeconds = 0.0;
+    spec_stats_.wrapSeconds = 0.0;
+    spec_stats_.cacheHit = !island_libs_.empty();
+    for (const CppJitLibrary &lib : island_libs_) {
+        spec_stats_.compileSeconds += lib.compileSeconds();
+        spec_stats_.wrapSeconds += lib.wrapSeconds();
+        spec_stats_.cacheHit = spec_stats_.cacheHit && lib.cacheHit();
+    }
     spec_stats_.numGroups = design_nunits_;
     spec_stats_.tierSwapCycle = static_cast<int64_t>(numCycles());
     comb_steps_ = std::move(nat_comb_steps_);
@@ -390,7 +467,7 @@ ParSimulationTool::maybeSwapTier()
         jit_error_ = nullptr;
         std::rethrow_exception(err);
     }
-    cpp_lib_ = std::move(pending_lib_);
+    island_libs_ = std::move(pending_libs_);
     // Every worker is parked before the next start barrier; the
     // barrier that releases them also publishes the swapped schedules.
     adoptNativeTier();
@@ -520,8 +597,11 @@ ParSimulationTool::runPhase(Cmd cmd)
         // replica yields the same current value everywhere. These nets
         // are disjoint from every island's flop and push targets.
         for (int net : main_flops_) {
+            bool ch = false;
             for (auto &replica : replicas_)
-                replica->flop(net);
+                ch |= replica->flop(net);
+            if (ch && gating_)
+                markReaderIslandsDirty(net);
         }
     }
     bar_all_.arriveAndWait(); // done
@@ -565,7 +645,10 @@ ParSimulationTool::runPStepImpl(int island, const PStep &step)
               bc_scratch_[island].data());
         break;
       case PStep::Kind::Native:
-        cpp_lib_.group(step.group)(replicas_[island]->data());
+        // cpp-design fused steps live in the island's own library
+        // (island-local group indices); cpp-block groups share one.
+        (design_native_ ? island_libs_[island] : cpp_lib_)
+            .group(step.group)(replicas_[island]->data());
         break;
     }
 }
@@ -575,16 +658,41 @@ ParSimulationTool::pushCur(int island, const CopyOp &op)
 {
     const uint64_t *src = replicas_[island]->data() + op.off;
     uint64_t *dst = replicas_[op.dst]->data() + op.off;
-    std::memcpy(dst, src, static_cast<size_t>(op.n) * sizeof(uint64_t));
+    const size_t bytes = static_cast<size_t>(op.n) * sizeof(uint64_t);
+    if (gating_) {
+        // Compare before copying: an identical push changes nothing in
+        // the destination replica, so it neither copies nor dirties
+        // the destination island.
+        if (std::memcmp(dst, src, bytes) == 0)
+            return;
+        island_dirty_[op.dst].store(1, std::memory_order_relaxed);
+    }
+    std::memcpy(dst, src, bytes);
     if (ScopeProbe *p = probe_) {
-        p->island_boundary_bytes[island] +=
-            static_cast<uint64_t>(op.n) * sizeof(uint64_t);
+        p->island_boundary_bytes[island] += bytes;
     }
 }
 
 void
 ParSimulationTool::runIslandSettle(int island)
 {
+    if (gating_ && !settle_active_[island]) {
+        // Quiescent island: no input changed since its last settle, so
+        // every step would recompute the value its replica already
+        // holds and every push would copy bytes the destinations
+        // already have. Peers still wait on the superstep barriers, so
+        // only those are joined.
+        for (int lvl = 0; lvl + 1 < plan_.nlevels; ++lvl) {
+            if (ScopeProbe *p = probe_) {
+                Stopwatch sw;
+                bar_workers_.arriveAndWait();
+                p->island_barrier_seconds[island] += sw.elapsed();
+            } else {
+                bar_workers_.arriveAndWait();
+            }
+        }
+        return;
+    }
     const std::vector<PStep> &steps = comb_steps_[island];
     size_t k = 0;
     for (int lvl = 0; lvl < plan_.nlevels; ++lvl) {
@@ -617,8 +725,14 @@ void
 ParSimulationTool::runIslandFlop(int island)
 {
     if (design_native_) {
-        cpp_lib_.group(island_flop_unit_[island])(
+        island_libs_[island].group(island_flop_unit_[island])(
             replicas_[island]->data());
+    } else if (gating_) {
+        bool changed = false;
+        for (int net : plan_.islands[island].flopNets)
+            changed |= replicas_[island]->flop(net);
+        if (changed)
+            island_dirty_[island].store(1, std::memory_order_relaxed);
     } else {
         for (int net : plan_.islands[island].flopNets)
             replicas_[island]->flop(net);
@@ -636,7 +750,51 @@ ParSimulationTool::runIslandFlop(int island)
 void
 ParSimulationTool::settlePhase()
 {
-    runPhase(Cmd::Settle);
+    if (gating_) {
+        // Publish the phase's active set: the dirty islands, closed
+        // transitively over the static push graph (an active island's
+        // outputs may change mid-settle, so every island it pushes to
+        // must run too). Workers read settle_active_ after the start
+        // barrier inside runPhase.
+        const int n = plan_.nislands;
+        std::vector<int> frontier;
+        for (int i = 0; i < n; ++i) {
+            settle_active_[i] =
+                island_dirty_[i].load(std::memory_order_relaxed) ? 1
+                                                                 : 0;
+            if (settle_active_[i])
+                frontier.push_back(i);
+        }
+        while (!frontier.empty()) {
+            int i = frontier.back();
+            frontier.pop_back();
+            for (int j : comb_push_islands_[i]) {
+                if (!settle_active_[j]) {
+                    settle_active_[j] = 1;
+                    frontier.push_back(j);
+                }
+            }
+        }
+        runPhase(Cmd::Settle);
+        for (int i = 0; i < n; ++i) {
+            if (!settle_active_[i]) {
+                gated_steps_ +=
+                    static_cast<uint64_t>(plan_.nlevels);
+                if (probe_ &&
+                    static_cast<int>(
+                        probe_->island_gated_supersteps.size()) > i) {
+                    probe_->island_gated_supersteps[i] +=
+                        static_cast<uint64_t>(plan_.nlevels);
+                }
+            }
+            // Active islands just settled; quiescent ones were clean
+            // already. Mid-phase marks (pushes between active islands)
+            // were consumed by the later supersteps of this phase.
+            island_dirty_[i].store(0, std::memory_order_relaxed);
+        }
+    } else {
+        runPhase(Cmd::Settle);
+    }
     dirty_ = false;
 }
 
@@ -647,6 +805,12 @@ ParSimulationTool::cycle()
     if (dirty_)
         settlePhase();
     runPhase(Cmd::Tick);
+    if (gating_) {
+        for (int i = 0; i < plan_.nislands; ++i) {
+            if (tick_dirty_island_[i])
+                island_dirty_[i].store(1, std::memory_order_relaxed);
+        }
+    }
     runPhase(Cmd::Flop);
     settlePhase();
     uint64_t now = ncycles_.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -709,8 +873,11 @@ ParSimulationTool::write(Signal &sig, const Bits &value)
     bool changed = replicaFor(net).write(net, value);
     for (auto &replica : replicas_)
         replica->write(net, value);
-    if (changed)
+    if (changed) {
         dirty_ = true;
+        if (gating_)
+            markReaderIslandsDirty(net);
+    }
 }
 
 void
@@ -743,8 +910,11 @@ ParSimulationTool::pokeNet(int net, const Bits &value)
     bool changed = replicaFor(net).write(net, value);
     for (auto &replica : replicas_)
         replica->write(net, value);
-    if (changed)
+    if (changed) {
         dirty_ = true;
+        if (gating_)
+            markReaderIslandsDirty(net);
+    }
 }
 
 void
@@ -788,6 +958,8 @@ ParSimulationTool::writeArray(MemArray &array, uint64_t index,
     replicas_[owner >= 0 ? owner : 0]->arrayWrite(array.arrayId(), index,
                                                   value);
     dirty_ = true;
+    if (gating_)
+        markReaderIslandsDirty(elab_->arrayToken(array.arrayId()));
 }
 
 // ---------------------------------------------------------- factory

@@ -160,6 +160,12 @@ class ParSimulationTool : public Simulator
     bool designMode() const { return cfg_.backend == Backend::CppDesign; }
 
     void buildIslandSchedules();
+    void buildGating();
+    /** Mark every island with a static reader of @p token (plus its
+     *  owner, whose driver must overwrite externally poked values)
+     *  as having seen an input change. Coordinator-side marks only;
+     *  workers mark through pushCur / runIslandFlop. */
+    void markReaderIslandsDirty(int token);
     void specialize();
     void specializeDesign();
     void adoptNativeTier();
@@ -204,17 +210,24 @@ class ParSimulationTool : public Simulator
     // schedules below replace comb_steps_/tick_steps_ wholesale when
     // the background compile is adopted. The swap happens on the
     // coordinator while every worker is parked before a start barrier,
-    // which also publishes the new schedules to them.
+    // which also publishes the new schedules to them. Codegen is one
+    // translation unit PER ISLAND — island_libs_[i] holds island i's
+    // fused modules and design-native PStep::group indices are local
+    // to that island's library — so each island's module caches
+    // independently and only an island's own code is resident on its
+    // worker.
     std::vector<std::vector<PStep>> nat_comb_steps_;
     std::vector<std::vector<PStep>> nat_tick_steps_;
-    std::vector<int> island_flop_unit_; //!< per-island flop module
-    std::string design_source_;
-    int design_nunits_ = 0;
+    std::vector<int> island_flop_unit_; //!< island-local flop module
+    std::vector<std::string> island_sources_;
+    std::vector<int> island_nunits_;
+    std::vector<CppJitLibrary> island_libs_;
+    int design_nunits_ = 0; //!< total units across island TUs
     bool design_native_ = false;
     bool tier_failed_ = false;
     std::thread jit_thread_;
     std::atomic<bool> jit_ready_{false};
-    CppJitLibrary pending_lib_;
+    std::vector<CppJitLibrary> pending_libs_;
     std::exception_ptr jit_error_;
 
     // Nets flopped by the coordinating thread (registered dynamically
@@ -222,6 +235,35 @@ class ParSimulationTool : public Simulator
     std::vector<int> main_flops_;
     std::vector<char> is_main_flop_;
     std::vector<char> static_island_flop_;
+
+    // --- activity gating (SimConfig::gating) -----------------------
+    // An island whose inputs did not change since its last settle
+    // holds exactly the values a re-settle would recompute, so its
+    // worker skips the superstep compute and pushes, joining only the
+    // barriers. Dirt sources: its own flops changing value, boundary
+    // pushes that actually changed its replica (pushCur compares
+    // before copying), its own tick blocks' blocking writes
+    // (conservative, per cycle), and coordinator-side writes. Before
+    // each settle the coordinator closes the dirty set transitively
+    // over the static island push graph — an active island's comb
+    // outputs may change mid-settle, so every island it pushes to
+    // must run as well — then clears all flags once the phase ends.
+    bool gating_ = false;
+    /** Flagged islands saw an input change since their last settle.
+     *  Atomic because several islands may push into one destination
+     *  concurrently during the flop phase; all accesses are relaxed —
+     *  the phase barriers order them. */
+    std::vector<std::atomic<uint8_t>> island_dirty_;
+    /** Published by the coordinator before each settle start barrier:
+     *  islands that must run the phase (dirty set, closed over the
+     *  push graph). */
+    std::vector<char> settle_active_;
+    /** Static island adjacency: comb_push_islands_[i] lists islands
+     *  island i's settle pushes target (any level). */
+    std::vector<std::vector<int>> comb_push_islands_;
+    /** Island has a tick block writing an array or a never-flopped
+     *  net: its own comb inputs may change blockingly every cycle. */
+    std::vector<char> tick_dirty_island_;
 
     // Thread pool and phase coordination.
     std::vector<std::thread> workers_;

@@ -188,6 +188,7 @@ SimScope::SimScope(Simulator &sim, Options opt)
         probe_.island_flop_seconds.assign(n, 0.0);
         probe_.island_barrier_seconds.assign(n, 0.0);
         probe_.island_boundary_bytes.assign(n, 0);
+        probe_.island_gated_supersteps.assign(n, 0);
     }
 
     sim.attachScope(&probe_);
@@ -322,11 +323,13 @@ SimScope::phaseBreakdown() const
             pb.flop_seconds += probe_.island_flop_seconds[i];
             pb.barrier_seconds += probe_.island_barrier_seconds[i];
             pb.boundary_bytes += probe_.island_boundary_bytes[i];
+            pb.gated_supersteps += probe_.island_gated_supersteps[i];
         }
     } else {
         pb.settle_seconds = probe_.settle_seconds;
         pb.tick_seconds = probe_.tick_seconds;
         pb.flop_seconds = probe_.flop_seconds;
+        pb.gated_supersteps = probe_.gated_steps;
     }
     return pb;
 }
@@ -355,6 +358,7 @@ SimScope::exportMetrics(MetricsRegistry &reg) const
     reg.setGauge("scope.phase.settle_seconds", pb.settle_seconds);
     reg.setGauge("scope.phase.tick_seconds", pb.tick_seconds);
     reg.setGauge("scope.phase.flop_seconds", pb.flop_seconds);
+    reg.setCounter("scope.gated_supersteps", pb.gated_supersteps);
     if (parsim_) {
         reg.setGauge("scope.phase.barrier_seconds", pb.barrier_seconds);
         reg.setCounter("scope.boundary_bytes", pb.boundary_bytes);
@@ -408,6 +412,7 @@ SimScope::jsonSnapshot() const
     os << ",\"barrier_seconds\":";
     jsonNum(os, pb.barrier_seconds);
     os << ",\"boundary_bytes\":" << pb.boundary_bytes
+       << ",\"gated_supersteps\":" << pb.gated_supersteps
        << ",\"islands\":[";
     if (parsim_) {
         for (int i = 0; i < pb.nislands; ++i) {
@@ -424,7 +429,9 @@ SimScope::jsonSnapshot() const
             os << ",\"barrier_seconds\":";
             jsonNum(os, probe_.island_barrier_seconds[i]);
             os << ",\"boundary_bytes\":"
-               << probe_.island_boundary_bytes[i] << "}";
+               << probe_.island_boundary_bytes[i]
+               << ",\"gated_supersteps\":"
+               << probe_.island_gated_supersteps[i] << "}";
         }
     } else {
         // The sequential kernel is one island with no barriers, so
@@ -493,20 +500,28 @@ SimScope::report(size_t nblocks) const
                       pb.barrier_seconds);
         os << buf;
     }
+    if (pb.gated_supersteps > 0) {
+        std::snprintf(buf, sizeof(buf), "  gated %llu",
+                      static_cast<unsigned long long>(
+                          pb.gated_supersteps));
+        os << buf;
+    }
     os << "\n";
     if (parsim_) {
         for (int i = 0; i < pb.nislands; ++i) {
             std::snprintf(
                 buf, sizeof(buf),
                 "  island %d: compute %.4fs  barrier %.4fs  boundary "
-                "%llu B\n",
+                "%llu B  gated %llu\n",
                 i,
                 probe_.island_settle_seconds[i] +
                     probe_.island_tick_seconds[i] +
                     probe_.island_flop_seconds[i],
                 probe_.island_barrier_seconds[i],
                 static_cast<unsigned long long>(
-                    probe_.island_boundary_bytes[i]));
+                    probe_.island_boundary_bytes[i]),
+                static_cast<unsigned long long>(
+                    probe_.island_gated_supersteps[i]));
             os << buf;
         }
     }

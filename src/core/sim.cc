@@ -227,6 +227,7 @@ SimulationTool::SimulationTool(std::shared_ptr<Elaboration> elab,
             in_worklist_[i] = 1;
         }
     }
+    buildGating();
 
     spec_stats_.simCreateSeconds =
         create_before_spec +
@@ -725,6 +726,62 @@ SimulationTool::enqueueReaders(int net)
     }
 }
 
+void
+SimulationTool::buildGating()
+{
+    // The event-driven scheduler is already change-driven, and the
+    // fused cpp-design tiers run the whole settle as one compiled
+    // call — gating applies to the static per-step schedules only.
+    gating_ = cfg_.gating && !eventDriven() && !designMode();
+    if (!gating_)
+        return;
+    step_dirty_.assign(comb_steps_.size(), 1);
+
+    writer_steps_of_token_.assign(elab_->nets.size() +
+                                      elab_->arrays.size(),
+                                  {});
+    for (size_t i = 0; i < comb_steps_.size(); ++i) {
+        for (int token : *comb_steps_[i].writes)
+            writer_steps_of_token_[token].push_back(
+                static_cast<int>(i));
+    }
+
+    // Tokens tick blocks may write with blocking semantics: plain
+    // nets that are not statically flopped (a flopped net's blocking
+    // write is clobbered by the flop before the post-tick settle can
+    // read it) and every tick-written array. A net that only later
+    // becomes a dynamic flop stays on the list — marking it is merely
+    // conservative.
+    for (const Step &step : tick_steps_) {
+        for (int token : *step.writes) {
+            if (isArrayToken(token) || !is_flopped_[token])
+                tick_dirty_tokens_.push_back(token);
+        }
+    }
+    std::sort(tick_dirty_tokens_.begin(), tick_dirty_tokens_.end());
+    tick_dirty_tokens_.erase(std::unique(tick_dirty_tokens_.begin(),
+                                         tick_dirty_tokens_.end()),
+                             tick_dirty_tokens_.end());
+}
+
+void
+SimulationTool::markReaderStepsDirty(int token)
+{
+    for (int blk : elab_->netReaders[token]) {
+        int step = comb_step_of_block_[blk];
+        if (step >= 0)
+            step_dirty_[step] = 1;
+    }
+}
+
+void
+SimulationTool::markTokenStepsDirty(int token)
+{
+    markReaderStepsDirty(token);
+    for (int step : writer_steps_of_token_[token])
+        step_dirty_[step] = 1;
+}
+
 bool
 SimulationTool::isArrayToken(int token) const
 {
@@ -899,6 +956,32 @@ SimulationTool::settle()
             }
         }
         worklist_.clear();
+    } else if (gating_) {
+        // Static order, change-driven execution: a step whose inputs
+        // did not change since its last run recomputes values it
+        // already holds, so it is skipped. Dirty bits set mid-loop
+        // belong to later steps (the schedule is topological), so one
+        // pass still settles fully.
+        std::vector<int> changed;
+        for (size_t i = 0; i < comb_steps_.size(); ++i) {
+            if (!step_dirty_[i]) {
+                ++gated_steps_;
+                if (probe_)
+                    ++probe_->gated_steps;
+                continue;
+            }
+            step_dirty_[i] = 0;
+            changed.clear();
+            runStep(comb_steps_[i], &changed);
+            for (int net : changed)
+                markReaderStepsDirty(net);
+            // Array writes elude word-diff change detection: re-run
+            // the readers of every array this step may have touched.
+            for (int token : *comb_steps_[i].writes) {
+                if (isArrayToken(token))
+                    markReaderStepsDirty(token);
+            }
+        }
     } else {
         for (const Step &step : *active_comb_)
             runStep(step, nullptr);
@@ -926,6 +1009,10 @@ SimulationTool::cycle()
             settle();
         for (const Step &step : *active_tick_)
             runStep(step, nullptr);
+        if (gating_) {
+            for (int token : tick_dirty_tokens_)
+                markTokenStepsDirty(token);
+        }
         std::vector<int> changed;
         doFlop(eventDriven() ? &changed : nullptr);
         if (eventDriven()) {
@@ -951,6 +1038,10 @@ SimulationTool::cycleProfiled()
     sw.restart();
     for (const Step &step : *active_tick_)
         runStep(step, nullptr);
+    if (gating_) {
+        for (int token : tick_dirty_tokens_)
+            markTokenStepsDirty(token);
+    }
     p->tick_seconds += sw.elapsed();
 
     sw.restart();
@@ -997,8 +1088,11 @@ SimulationTool::doFlop(std::vector<int> *changed)
     for (int net : flopped_nets_) {
         bool ch = tokenInArena(net) ? arena_->flop(net)
                                     : boxed_->flop(net);
-        if (ch && changed) {
-            enqueueReaders(net);
+        if (ch) {
+            if (changed)
+                enqueueReaders(net);
+            if (gating_)
+                markTokenStepsDirty(net);
         }
     }
 }
@@ -1030,6 +1124,8 @@ SimulationTool::writeArray(MemArray &array, uint64_t index,
     dirty_ = true;
     if (eventDriven())
         enqueueReaders(elab_->arrayToken(id));
+    else if (gating_)
+        markTokenStepsDirty(elab_->arrayToken(id));
 }
 
 Bits
@@ -1049,6 +1145,8 @@ SimulationTool::write(Signal &sig, const Bits &value)
         dirty_ = true;
         if (eventDriven())
             enqueueReaders(net);
+        else if (gating_)
+            markTokenStepsDirty(net);
     }
 }
 
@@ -1081,6 +1179,8 @@ SimulationTool::pokeNet(int net, const Bits &value)
         dirty_ = true;
         if (eventDriven())
             enqueueReaders(net);
+        else if (gating_)
+            markTokenStepsDirty(net);
     }
 }
 

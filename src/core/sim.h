@@ -140,6 +140,20 @@ struct SimConfig
      * than an unoptimized run. Off by default.
      */
     bool dead_elim = false;
+    /**
+     * Activity gating: skip work that provably cannot change state.
+     * The sequential kernel skips a combinational step when none of
+     * its inputs changed since its last run (static schedules only —
+     * the event-driven scheduler is already change-driven); ParSim
+     * skips a whole island's settle superstep when the island saw no
+     * input change, the island only joining the barriers. Results are
+     * bit- and VCD-identical to an ungated run by construction: a
+     * step/island is skipped only when re-running it would recompute
+     * the values it already holds. Ignored by the fused cpp-design
+     * native tier (the whole cycle is one compiled call). On by
+     * default.
+     */
+    bool gating = true;
 
     /**
      * Normalize the config in place: derive backend from exec/spec
@@ -197,6 +211,12 @@ struct ScopeProbe
     std::vector<double> island_flop_seconds;
     std::vector<double> island_barrier_seconds;
     std::vector<uint64_t> island_boundary_bytes;
+
+    // Activity gating (SimConfig::gating). Sequential kernel: comb
+    // steps skipped because no input changed. ParSim: per-island
+    // settle supersteps skipped because the island was quiescent.
+    uint64_t gated_steps = 0;
+    std::vector<uint64_t> island_gated_supersteps;
 
     /** Count a block call; true when this execution should be timed. */
     bool
@@ -279,6 +299,15 @@ class Simulator : public SignalAccess
         return ncycles_.load(std::memory_order_relaxed);
     }
     const SpecStats &specStats() const { return spec_stats_; }
+
+    /**
+     * Units of work skipped by activity gating (SimConfig::gating)
+     * since construction: combinational steps on the sequential
+     * kernel, island settle supersteps on ParSim. 0 when gating is
+     * off or the backend ignores it. Updated between cycles only —
+     * read it from the cycling thread.
+     */
+    uint64_t gatedSteps() const { return gated_steps_; }
 
     // --- cooperative pause (SimServer scheduler, debugger) ---------
 
@@ -393,6 +422,7 @@ class Simulator : public SignalAccess
     std::atomic<bool> pause_requested_{false};
     std::vector<std::function<void(uint64_t)>> cycle_hooks_;
     ScopeProbe *probe_ = nullptr;
+    uint64_t gated_steps_ = 0;
 };
 
 /**
@@ -478,6 +508,14 @@ class SimulationTool : public Simulator
     void enqueueReaders(int net);
     void markFlopped(int net);
     void doFlop(std::vector<int> *changed);
+    void buildGating();
+    /** Settle-internal change: re-run the token's comb readers. */
+    void markReaderStepsDirty(int token);
+    /** External change (testbench write, flop, poke): re-run the
+     *  token's comb readers AND its comb driver, so a poked value a
+     *  driver would overwrite is overwritten exactly as when every
+     *  step runs unconditionally. */
+    void markTokenStepsDirty(int token);
 
     std::unique_ptr<BoxedStore> boxed_;
     std::unique_ptr<ArenaStore> arena_;
@@ -532,6 +570,18 @@ class SimulationTool : public Simulator
     // Event-driven worklist state.
     std::vector<int> worklist_;
     std::vector<char> in_worklist_;
+
+    // Activity gating (static schedules only; see SimConfig::gating).
+    bool gating_ = false;
+    std::vector<char> step_dirty_; //!< comb step must re-run
+    /** token -> comb step(s) writing it (specialized groups count as
+     *  one step); used to re-run drivers over externally poked nets. */
+    std::vector<std::vector<int>> writer_steps_of_token_;
+    /** Tokens tick blocks write with blocking semantics (plain nets
+     *  never statically flopped, and every tick-written array): their
+     *  readers re-run each cycle; the flop phase change-detects the
+     *  registered rest. */
+    std::vector<int> tick_dirty_tokens_;
 
     bool dirty_ = true;
 };

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 
 namespace cmtl {
 namespace stdlib {
@@ -74,7 +75,8 @@ SimOptions::helpTable()
         "                      interp+bytecode | interp+cpp-block\n"
         "                      (\"cpp\" is accepted for cpp-block)\n"
         "  --threads=<n>       host threads; >1 runs the parallel\n"
-        "                      ParSim kernel\n"
+        "                      ParSim kernel (clamped to the hardware\n"
+        "                      thread count with a warning)\n"
         "  --level=<l>         abstraction level: fl | cl | clspec |\n"
         "                      rtl (the bare token works too)\n"
         "  --profile[=json]    attach SimScope; =json emits the\n"
@@ -127,6 +129,19 @@ SimOptions::parse(int argc, char **argv)
                                      "integer, got '%s'\n",
                              argv[0], value.c_str());
                 std::exit(2);
+            }
+            // Oversubscribing ParSim's spin-barrier workers is strictly
+            // counterproductive (spinners time-slice against each
+            // other), so the CLI clamps to the hardware. Programmatic
+            // SimConfig::threads is left alone: tests and benches set
+            // it deliberately.
+            unsigned hw = std::thread::hardware_concurrency();
+            if (hw > 0 && opts.threads > static_cast<int>(hw)) {
+                std::fprintf(stderr,
+                             "%s: --threads %d exceeds the %u hardware "
+                             "threads; clamping to %u\n",
+                             argv[0], opts.threads, hw, hw);
+                opts.threads = static_cast<int>(hw);
             }
             opts.cfg.threads = opts.threads;
         } else if (!std::strcmp(argv[i], "--profile")) {

@@ -22,6 +22,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "core/jit_cpp.h"
 #include "core/psim.h"
@@ -358,6 +359,13 @@ TEST(BackendTierSwap, ParSimMidRunSwapBitIdentical)
     }
     ASSERT_FALSE(sim.tierPending()) << "compile never finished";
     EXPECT_GT(sim.specStats().tierSwapCycle, 0);
+    // Per-island fused codegen: every island gets its own translation
+    // unit with at least a flop module, so the adopted tier carries at
+    // least nislands compiled units (and a real compile, not a hit —
+    // the cache was disabled above).
+    EXPECT_GE(sim.specStats().numGroups, sim.plan().nislands);
+    EXPECT_FALSE(sim.specStats().cacheHit);
+    EXPECT_GT(sim.specStats().compileSeconds, 0.0);
 
     golden->cycle(200);
     sim.cycle(200);
@@ -509,13 +517,33 @@ TEST(SimOptionsParse, CommonOptionsAndPositionals)
         static_cast<int>(argv.size()), argv.data());
     EXPECT_TRUE(opts.backend_set);
     EXPECT_EQ(opts.cfg.toString(), "cpp-design");
-    EXPECT_EQ(opts.cfg.threads, 4);
-    EXPECT_EQ(opts.threads, 4);
+    // The CLI clamps to the hardware thread count, so the expected
+    // value depends on the host running the test.
+    unsigned hw = std::thread::hardware_concurrency();
+    int want = (hw > 0 && hw < 4) ? static_cast<int>(hw) : 4;
+    EXPECT_EQ(opts.cfg.threads, want);
+    EXPECT_EQ(opts.threads, want);
     EXPECT_EQ(opts.level, "rtl");
     EXPECT_TRUE(opts.profile);
     EXPECT_TRUE(opts.profile_json);
     EXPECT_EQ(opts.intArg(16), 64);
     ASSERT_EQ(opts.positional.size(), 1u);
+}
+
+TEST(SimOptionsParse, ThreadsClampToHardwareConcurrency)
+{
+    // An absurd request must come back clamped to the host (the
+    // warning goes to stderr); programmatic SimConfig::threads is
+    // intentionally NOT clamped, so only the CLI path is tested.
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0)
+        GTEST_SKIP() << "hardware_concurrency unknown on this host";
+    std::vector<std::string> args = {"prog", "--threads=4096"};
+    auto argv = argvOf(args);
+    auto opts = cmtl::stdlib::SimOptions::parse(
+        static_cast<int>(argv.size()), argv.data());
+    EXPECT_EQ(opts.threads, static_cast<int>(hw));
+    EXPECT_EQ(opts.cfg.threads, static_cast<int>(hw));
 }
 
 TEST(SimOptionsParse, DefaultsWhenNothingGiven)

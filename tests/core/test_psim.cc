@@ -277,6 +277,68 @@ TEST(Partition, BalancesMeshAcrossIslands)
     EXPECT_LT(plan.imbalance(), 1.25);
 }
 
+TEST(Partition, RefinementShrinksMeshCut)
+{
+    auto top = std::make_unique<MeshTrafficTop>("top", NetLevel::RTL, 64,
+                                                4, 0.2, 3);
+    auto elab = top->elaborate();
+    for (int n : {2, 4, 8}) {
+        PartitionOptions chunked;
+        chunked.refine = false;
+        PartitionPlan seed = partitionDesign(*elab, n, chunked);
+        PartitionPlan refined = partitionDesign(*elab, n);
+
+        // The refined plan records the seed it started from, and the
+        // recorded seed matches an actual chunked run.
+        ASSERT_EQ(refined.seedCutTokens, seed.cutTokens)
+            << "islands=" << n;
+        ASSERT_EQ(refined.seedCutCombEdges, seed.cutCombEdges)
+            << "islands=" << n;
+        EXPECT_EQ(seed.refineMoves, 0);
+
+        // Refinement never regresses the cut, and must strictly
+        // shrink it wherever the chunked strips are suboptimal: at 4+
+        // islands a mesh admits tilings with shorter boundaries than
+        // the locality-sorted row strips. (At 2 islands the single
+        // strip boundary is already globally minimal, so equality is
+        // the correct answer there.)
+        EXPECT_LE(refined.cutTokens, seed.cutTokens) << "islands=" << n;
+        if (n >= 4) {
+            EXPECT_LT(refined.cutTokens, seed.cutTokens)
+                << "islands=" << n;
+        }
+        EXPECT_GT(refined.refinePasses, 0);
+
+        // ...without blowing the balance bound.
+        EXPECT_LE(refined.imbalance(),
+                  std::max(seed.imbalance(), 1.11));
+    }
+}
+
+TEST(Partition, ClampsAndCompactsDegenerateIslandCounts)
+{
+    auto top = std::make_unique<MeshTrafficTop>("top", NetLevel::RTL, 4,
+                                                4, 0.2, 3);
+    auto elab = top->elaborate();
+    // Far more islands than atomic clusters: the plan must clamp to
+    // the effective count, keep every island non-empty, and report a
+    // finite imbalance instead of dividing by empty islands.
+    PartitionPlan plan = partitionDesign(*elab, 512);
+    EXPECT_EQ(plan.requestedIslands, 512);
+    ASSERT_GE(plan.nislands, 1);
+    ASSERT_LE(plan.nislands, plan.nclusters);
+    ASSERT_EQ(static_cast<int>(plan.islands.size()), plan.nislands);
+    for (const PartitionIsland &isl : plan.islands) {
+        EXPECT_GT(isl.combBlocks.size() + isl.tickBlocks.size(), 0u);
+        EXPECT_GT(isl.weight, 0);
+    }
+    double imb = plan.imbalance();
+    EXPECT_GE(imb, 1.0);
+    EXPECT_TRUE(std::isfinite(imb));
+    std::string report = partitionReport(*elab, plan);
+    EXPECT_NE(report.find("requested 512"), std::string::npos);
+}
+
 TEST(Psim, RejectsUnsupportedConfigs)
 {
     auto top = std::make_unique<MeshTrafficTop>("top", NetLevel::RTL, 16,

@@ -29,7 +29,7 @@ TEST(RaceAudit, MeshPartitionsPassAtEveryIslandCount)
 {
     net::MeshNetworkRTL mesh(nullptr, "mesh", 4, 16, 16, 2);
     auto elab = mesh.elaborate();
-    for (int threads : {2, 4}) {
+    for (int threads : {2, 4, 8}) {
         PartitionPlan plan = partitionDesign(*elab, threads);
         RaceAuditReport report = auditPartition(*elab, plan);
         EXPECT_TRUE(report.ok())
@@ -39,6 +39,34 @@ TEST(RaceAudit, MeshPartitionsPassAtEveryIslandCount)
         EXPECT_GT(report.pushesChecked, 0);
         EXPECT_NE(report.summary().find("PASS"), std::string::npos);
     }
+}
+
+TEST(RaceAudit, RefinedAndChunkedPlansPassOnCorpus)
+{
+    // Both the weight-balanced seed and the KLFM-refined plan must
+    // prove every audit invariant, on every corpus design, at every
+    // island count — refinement may only move whole atomic clusters,
+    // so nothing it does can introduce a race.
+    auto check = [](const Elaboration &elab, const char *what) {
+        for (int islands : {2, 4, 8}) {
+            for (bool refine : {false, true}) {
+                PartitionOptions opts;
+                opts.refine = refine;
+                PartitionPlan plan =
+                    partitionDesign(elab, islands, opts);
+                RaceAuditReport report = auditPartition(elab, plan);
+                EXPECT_TRUE(report.ok())
+                    << what << " islands=" << islands
+                    << " refine=" << refine << "\n" << report.format();
+                EXPECT_LE(plan.cutTokens, plan.seedCutTokens);
+            }
+        }
+    };
+    net::MeshNetworkRTL mesh(nullptr, "mesh", 4, 16, 16, 2);
+    check(*mesh.elaborate(), "mesh-rtl");
+    net::MeshTrafficTop traffic("top", net::NetLevel::RTL, 64, 4, 0.2,
+                                3);
+    check(*traffic.elaborate(), "mesh-traffic-rtl");
 }
 
 TEST(RaceAudit, CatalogCoversAuditInvariants)
