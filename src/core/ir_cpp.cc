@@ -62,6 +62,42 @@ class BlockEmitter
                "]";
     }
 
+    /** Rvalue of a net's current value (field extract when packed). */
+    std::string
+    curRead(int net) const
+    {
+        if (!store_.packed(net))
+            return cur(net);
+        std::string out = "((" + cur(net);
+        if (store_.shift(net))
+            out += " >> " + std::to_string(store_.shift(net));
+        return out + ") & " + maskHex(store_.nbits(net)) + ")";
+    }
+
+    /**
+     * Emit "<dst> = <rhs>;" with the field insert semantics the
+     * layout demands: plain masked store for exclusive words,
+     * read-modify-write for packed or partial-width destinations.
+     * @p lsb/@p width describe a partial assign (width < 0 = full).
+     */
+    void
+    emitAssign(const std::string &dst, int net, int lsb, int width,
+               const std::string &rhs)
+    {
+        int shift = store_.shift(net);
+        if (width < 0 && !store_.packed(net)) {
+            os_ << dst << " = " << rhs << " & "
+                << maskHex(store_.nbits(net)) << ";\n";
+            return;
+        }
+        std::string m =
+            width < 0 ? maskHex(store_.nbits(net)) : maskHex(width);
+        int pos = width < 0 ? shift : shift + lsb;
+        os_ << dst << " = (" << dst << " & ~(" << m << " << " << pos
+            << ")) | ((" << rhs << " & " << m << ") << " << pos
+            << ");\n";
+    }
+
     /** Open-bracketed base of an array element access. */
     std::string
     arrayBase(int id) const
@@ -91,7 +127,7 @@ class BlockEmitter
             return os.str();
           }
           case IrExprNode::Kind::Ref:
-            return cur(e->sig->netId());
+            return curRead(e->sig->netId());
           case IrExprNode::Kind::Temp:
             return "t" + std::to_string(e->temp);
           case IrExprNode::Kind::BinOp: {
@@ -197,15 +233,7 @@ class BlockEmitter
                 int net = s.sig->netId();
                 std::string dst =
                     (seq && s.nonblocking) ? nxt(net) : cur(net);
-                if (s.width < 0) {
-                    os_ << dst << " = " << expr(s.rhs.get()) << " & "
-                        << maskHex(store_.nbits(net)) << ";\n";
-                } else {
-                    std::string m = maskHex(s.width);
-                    os_ << dst << " = (" << dst << " & ~(" << m << " << "
-                        << s.lsb << ")) | ((" << expr(s.rhs.get()) << " & "
-                        << m << ") << " << s.lsb << ");\n";
-                }
+                emitAssign(dst, net, s.lsb, s.width, expr(s.rhs.get()));
                 break;
               }
               case IrStmt::Kind::If:
@@ -333,14 +361,40 @@ cppEmitProgram(const Elaboration &elab, const ArenaStore &store,
                 std::ostringstream body;
                 BlockEmitter(blk, store, body, &alias).run(8);
                 os << body.str() << "    }\n";
-            } else {
-                // next -> current register copy, word by word.
+            } else if (item.flopNet >= 0) {
+                // next -> current register copy. Packed nets copy
+                // only their field: word-mates may be combinational
+                // (dynamically registered flops) or flop separately.
                 int net = item.flopNet;
                 int cur = store.offset(net);
                 int nxt = cur + store.wordsPerPhase();
-                for (int wd = 0; wd < store.nwords(net); ++wd) {
-                    os << "    w[" << cur + wd << "] = w[" << nxt + wd
-                       << "];\n";
+                if (store.packed(net)) {
+                    std::string m = maskHex(store.nbits(net));
+                    int sh = store.shift(net);
+                    os << "    w[" << cur << "] = (w[" << cur
+                       << "] & ~(" << m << " << " << sh << ")) | (w["
+                       << nxt << "] & (" << m << " << " << sh
+                       << "));\n";
+                } else {
+                    for (int wd = 0; wd < store.nwords(net); ++wd) {
+                        os << "    w[" << cur + wd << "] = w["
+                           << nxt + wd << "];\n";
+                    }
+                }
+            } else {
+                // Coalesced flop range: straight word copies, long
+                // runs as a loop the compiler turns into memmove.
+                int cur = item.rangeOff;
+                int nxt = cur + store.wordsPerPhase();
+                if (item.rangeWords <= 4) {
+                    for (int wd = 0; wd < item.rangeWords; ++wd) {
+                        os << "    w[" << cur + wd << "] = w["
+                           << nxt + wd << "];\n";
+                    }
+                } else {
+                    os << "    for (int i = 0; i < " << item.rangeWords
+                       << "; ++i) w[" << cur << " + i] = w[" << nxt
+                       << " + i];\n";
                 }
             }
         }

@@ -45,6 +45,11 @@ struct CppUnit
     {
         int block = -1;   //!< ElabBlock index to execute, or
         int flopNet = -1; //!< net to copy next -> current (block < 0)
+        /** Whole-word flop range (block < 0, flopNet < 0): copy
+         *  rangeWords words next -> current starting at rangeOff.
+         *  Produced from ArenaLayout::flopPlan(). */
+        int rangeOff = -1;
+        int rangeWords = 0;
     };
     std::vector<Item> items;
 };

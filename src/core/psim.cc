@@ -41,12 +41,36 @@ ParSimulationTool::ParSimulationTool(std::shared_ptr<Elaboration> elab,
             "sequential-only");
     }
 
+    // One layout shared by every replica: identical physical slots by
+    // construction. The profile policy sees the real partition plan,
+    // so placement groups by owner island and packing never crosses an
+    // ownership boundary (whole-word pushes stay sound).
+    auto layout = std::make_shared<const ArenaLayout>(
+        cfg_.layout == LayoutPolicy::Profile
+            ? ArenaLayout::profiled(*elab_, &plan_, nullptr)
+            : ArenaLayout::elabOrder(*elab_));
     replicas_.reserve(plan_.nislands);
     evals_.reserve(plan_.nislands);
     for (int i = 0; i < plan_.nislands; ++i) {
-        replicas_.push_back(std::make_unique<ArenaStore>(*elab_));
+        replicas_.push_back(std::make_unique<ArenaStore>(*elab_, layout));
         evals_.push_back(std::make_unique<SlotEvaluator>(*replicas_[i]));
     }
+
+    accessor_.bindReplicas(&replicas_, &plan_.ownerOf);
+    accessor_.onPokeChanged([this](int net) {
+        dirty_ = true;
+        if (gating_)
+            markReaderIslandsDirty(net);
+    });
+
+    // Per-island flop copy plans: layout invariants guarantee a word's
+    // residents share owner island and flop class, so an island's
+    // owned static flops coalesce into whole-word ranges (disjoint
+    // across islands by ownership).
+    island_flop_plans_.reserve(plan_.nislands);
+    for (int i = 0; i < plan_.nislands; ++i)
+        island_flop_plans_.push_back(
+            layout->flopPlan(plan_.islands[i].flopNets));
 
     const size_t nnets = elab_->nets.size();
     is_main_flop_.assign(nnets, 0);
@@ -173,6 +197,29 @@ ParSimulationTool::buildIslandSchedules()
                     pushTargets(t, i, flop_pushes_[i]);
             }
         }
+
+        // Packed word-mates map to the same physical word, so the
+        // per-token dedup above can leave byte-identical copies;
+        // collapse them (identical ops commute, dropping one is safe).
+        auto dedupe = [](std::vector<CopyOp> &ops) {
+            std::sort(ops.begin(), ops.end(),
+                      [](const CopyOp &a, const CopyOp &b) {
+                          if (a.dst != b.dst)
+                              return a.dst < b.dst;
+                          if (a.off != b.off)
+                              return a.off < b.off;
+                          return a.n < b.n;
+                      });
+            ops.erase(std::unique(ops.begin(), ops.end(),
+                                  [](const CopyOp &a, const CopyOp &b) {
+                                      return a.dst == b.dst &&
+                                             a.off == b.off && a.n == b.n;
+                                  }),
+                      ops.end());
+        };
+        for (auto &level : comb_pushes_[i])
+            dedupe(level);
+        dedupe(flop_pushes_[i]);
     }
 }
 
@@ -390,9 +437,14 @@ ParSimulationTool::specializeDesign()
         fuse(nat_comb_steps_[i], true);
         fuse(nat_tick_steps_[i], false);
         // Island flop module over its owned statically flopped nets
-        // (dynamic lambda flops stay on the coordinator).
+        // (dynamic lambda flops stay on the coordinator), coalesced
+        // into whole-word copy ranges where the layout allows.
         CppUnit flop_unit;
-        for (int net : plan_.islands[i].flopNets)
+        const FlopCopyPlan &fplan = island_flop_plans_[i];
+        for (const FlopRange &r : fplan.ranges)
+            flop_unit.items.push_back(
+                CppUnit::Item{-1, -1, r.off, r.nwords});
+        for (int net : fplan.rmw_nets)
             flop_unit.items.push_back(CppUnit::Item{-1, net});
         island_flop_unit_[i] = static_cast<int>(units.size());
         units.push_back(std::move(flop_unit));
@@ -478,6 +530,15 @@ ParSimulationTool::tierPending() const
 {
     return designMode() && cfg_.jit_tiered && !design_native_ &&
            !tier_failed_;
+}
+
+LayoutStats
+ParSimulationTool::layoutStats() const
+{
+    LayoutStats s = replicas_[0]->layout().stats();
+    for (const FlopCopyPlan &fplan : island_flop_plans_)
+        s.flop_memcpy_ranges += static_cast<int>(fplan.ranges.size());
+    return s;
 }
 
 // ------------------------------------------------------ thread pool
@@ -728,13 +789,18 @@ ParSimulationTool::runIslandFlop(int island)
         island_libs_[island].group(island_flop_unit_[island])(
             replicas_[island]->data());
     } else if (gating_) {
+        // Gating needs per-net change detection to dirty the island.
         bool changed = false;
         for (int net : plan_.islands[island].flopNets)
             changed |= replicas_[island]->flop(net);
         if (changed)
             island_dirty_[island].store(1, std::memory_order_relaxed);
     } else {
-        for (int net : plan_.islands[island].flopNets)
+        // Whole-word range copies of the island's static flop set;
+        // packed stragglers keep a masked per-net copy.
+        const FlopCopyPlan &fplan = island_flop_plans_[island];
+        replicas_[island]->flopRanges(fplan.ranges);
+        for (int net : fplan.rmw_nets)
             replicas_[island]->flop(net);
     }
     // Publish post-flop (and blocking-tick-written) current values.
@@ -899,39 +965,25 @@ ParSimulationTool::writeNext(Signal &sig, const Bits &value)
 Bits
 ParSimulationTool::readNetNext(int net) const
 {
-    return replicaFor(net).readNext(net);
+    return accessor_.readNetNext(net);
 }
 
 void
 ParSimulationTool::pokeNet(int net, const Bits &value)
 {
-    // Coordinator-side restore: mirror write(Signal&) — keep every
-    // replica coherent so any reader island sees the value.
-    bool changed = replicaFor(net).write(net, value);
-    for (auto &replica : replicas_)
-        replica->write(net, value);
-    if (changed) {
-        dirty_ = true;
-        if (gating_)
-            markReaderIslandsDirty(net);
-    }
+    accessor_.pokeNet(net, value);
 }
 
 void
 ParSimulationTool::pokeNetNext(int net, const Bits &value)
 {
-    for (auto &replica : replicas_)
-        replica->writeNext(net, value);
+    accessor_.pokeNetNext(net, value);
 }
 
 std::vector<int>
 ParSimulationTool::dynamicFlopNets() const
 {
-    std::vector<int> out;
-    for (int net : main_flops_)
-        if (!elab_->nets[net].floppedStatic)
-            out.push_back(net);
-    return out;
+    return NetAccessor::dynamicFlops(*elab_, main_flops_);
 }
 
 void

@@ -5,9 +5,12 @@
  * ParSimulationTool runs a statically partitioned design (partition.h)
  * on a persistent pool of worker threads, one per island, coordinated
  * by the calling thread. Each island owns a full-size *replica* of the
- * dense word arena: because the ArenaStore layout is a pure function of
- * the Elaboration, every replica has identical offsets, so bytecode and
+ * dense word arena: every replica is built over ONE shared ArenaLayout
+ * (layout.h) — identical offsets by construction — so bytecode and
  * compiled-C++ programs run unchanged on any replica's data pointer.
+ * Under the profile layout the partition plan itself shapes placement:
+ * nets group by owner island and packed word-mates never cross an
+ * ownership boundary, so whole-word boundary pushes stay sound.
  * Islands write only tokens they own and read everything from their
  * local replica; owners push boundary values into reader replicas at
  * phase ends, so all sharing is one-way word copies separated by
@@ -127,6 +130,7 @@ class ParSimulationTool : public Simulator
     void registerDynamicFlops(const std::vector<int> &nets) override;
 
     bool tierPending() const override;
+    LayoutStats layoutStats() const override;
 
     // --- SignalAccess ----------------------------------------------
     Bits read(const Signal &sig) const override;
@@ -188,6 +192,11 @@ class ParSimulationTool : public Simulator
     PartitionPlan plan_;
     std::vector<std::unique_ptr<ArenaStore>> replicas_;
     std::vector<std::unique_ptr<SlotEvaluator>> evals_;
+    /** Snap/poke hooks delegate here (accessor.h). */
+    NetAccessor accessor_;
+    /** Per-island flop phase coalesced into whole-word copy ranges
+     *  (shared layout, so ranges are valid in every replica). */
+    std::vector<FlopCopyPlan> island_flop_plans_;
 
     // Per-island schedules (comb steps sorted by superstep level).
     std::vector<std::vector<PStep>> comb_steps_;

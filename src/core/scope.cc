@@ -402,6 +402,18 @@ SimScope::jsonSnapshot() const
     os << ",\"timing\":" << (probe_.exact ? "\"exact\"" : "\"sampled\"")
        << ",\"cycles\":" << cycles();
 
+    {
+        const LayoutStats lay = sim_.layoutStats();
+        os << ",\"layout\":{\"policy\":";
+        jsonString(os, layoutPolicyName(lay.policy));
+        os << ",\"pgo\":" << (lay.pgo ? "true" : "false")
+           << ",\"packed_nets\":" << lay.packed_nets
+           << ",\"packed_bits_saved\":" << lay.packed_bits_saved
+           << ",\"words_per_phase\":" << lay.words_per_phase
+           << ",\"flop_memcpy_ranges\":" << lay.flop_memcpy_ranges
+           << "}";
+    }
+
     PhaseBreakdown pb = phaseBreakdown();
     os << ",\"phases\":{\"settle_seconds\":";
     jsonNum(os, pb.settle_seconds);

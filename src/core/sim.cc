@@ -1,5 +1,6 @@
 #include "sim.h"
 
+#include <algorithm>
 #include <queue>
 #include <stdexcept>
 
@@ -177,8 +178,16 @@ SimulationTool::SimulationTool(std::shared_ptr<Elaboration> elab,
 
     if (useBoxed())
         boxed_ = std::make_unique<BoxedStore>(*elab_);
-    if (!useBoxed() || cfg_.spec != SpecMode::None)
-        arena_ = std::make_unique<ArenaStore>(*elab_);
+    if (!useBoxed() || cfg_.spec != SpecMode::None) {
+        // Sequential kernel: no partition plan, and heat arrives only
+        // later through the PGO loop — the static profile layout
+        // groups by producer-block schedule order for now.
+        auto lay = std::make_shared<const ArenaLayout>(
+            cfg_.layout == LayoutPolicy::Profile
+                ? ArenaLayout::profiled(*elab_, nullptr, nullptr)
+                : ArenaLayout::elabOrder(*elab_));
+        arena_ = std::make_unique<ArenaStore>(*elab_, std::move(lay));
+    }
     if (boxed_)
         boxed_eval_ = std::make_unique<BoxedEvaluator>(*boxed_);
     if (arena_)
@@ -193,6 +202,13 @@ SimulationTool::SimulationTool(std::shared_ptr<Elaboration> elab,
         if (net.floppedStatic)
             markFlopped(net.id);
     }
+    // The static flop set is final here; nets registered later (a
+    // lambda's writeNext) append past this prefix and stay on the
+    // per-net host loop. The copy plan coalesces the static set into
+    // whole-word ranges where the layout allows.
+    n_static_flops_ = flopped_nets_.size();
+    if (arena_)
+        flop_plan_ = arena_->layout().flopPlan(flopped_nets_);
 
     // Arrays written by tick blocks re-trigger their readers each
     // cycle under event-driven scheduling.
@@ -218,6 +234,16 @@ SimulationTool::SimulationTool(std::shared_ptr<Elaboration> elab,
     double create_before_spec = sw.elapsed();
     if (cfg_.spec != SpecMode::None)
         specialize();
+
+    accessor_.bind(arena_.get(), boxed_.get(),
+                   [this](int token) { return tokenInArena(token); });
+    accessor_.onPokeChanged([this](int net) {
+        dirty_ = true;
+        if (eventDriven())
+            enqueueReaders(net);
+        else if (gating_)
+            markTokenStepsDirty(net);
+    });
 
     in_worklist_.assign(comb_steps_.size(), 0);
     if (eventDriven()) {
@@ -445,19 +471,41 @@ SimulationTool::specialize()
         bc_programs_.resize(blocks.size());
         int max_scratch = 0;
         group_bc_.resize(groups.size());
+        group_blocks_.resize(groups.size());
         for (size_t g = 0; g < groups.size(); ++g) {
             for (int blk : groups[g]) {
                 bc_programs_[blk] = bcCompile(blocks[blk], *arena_);
                 max_scratch =
                     std::max(max_scratch, bc_programs_[blk].nscratch);
                 group_bc_[g].push_back(&bc_programs_[blk]);
+                group_blocks_[g].push_back(blk);
             }
         }
         bc_scratch_.assign(static_cast<size_t>(max_scratch) + 1, 0);
         spec_stats_.codegenSeconds = sw.elapsed();
         if (!design)
             return;
-        specializeDesign(can);
+        if (pgoActive()) {
+            // Defer TU emission past the warm-up window: the bytecode
+            // tier runs while the probe gathers block heat, then
+            // startPgoBuild() derives the heat-refined layout and
+            // emits against it. An internal sampled probe stands in
+            // when no SimScope is attached.
+            can_ = can;
+            pgo_pending_ = true;
+            spec_stats_.tiered = true;
+            if (!probe_) {
+                pgo_probe_ = std::make_unique<ScopeProbe>();
+                pgo_probe_->exact = false;
+                pgo_probe_->block_seconds.assign(blocks.size(), 0.0);
+                pgo_probe_->block_calls.assign(blocks.size(), 0);
+                pgo_probe_->until_sample.assign(
+                    blocks.size(), pgo_probe_->sample_period);
+                probe_ = pgo_probe_.get();
+            }
+            return;
+        }
+        specializeDesign(can, nullptr);
         return;
     }
 
@@ -475,7 +523,8 @@ SimulationTool::specialize()
 }
 
 std::vector<int>
-SimulationTool::designCombOrder(const std::vector<char> &can) const
+SimulationTool::designCombOrder(const std::vector<char> &can,
+                                const std::vector<double> *heat) const
 {
     // Any topological order of the comb dependency graph settles to
     // the same fixed point (each block runs once, after all writers of
@@ -497,6 +546,44 @@ SimulationTool::designCombOrder(const std::vector<char> &can) const
     std::vector<int> pos(blocks.size(), -1);
     for (size_t i = 0; i < base.size(); ++i)
         pos[base[i]] = static_cast<int>(i);
+    if (heat) {
+        // PGO: among ready blocks prefer the hottest first, so the
+        // fused unit executes hot logic in measured-heat order while
+        // the Kahn traversal keeps the order topological (any topo
+        // order settles to the same fixed point — see above). Sampled
+        // heat is noisy, and a total order by raw heat lets that
+        // jitter scramble the locality the baseline schedule already
+        // has — on a homogeneous design (the fig14 mesh) the shuffle
+        // costs 10-20% throughput for no gain. Quantize heat into
+        // power-of-two buckets instead: only order-of-magnitude
+        // differences move a block, ties keep the fusion-friendly
+        // schedule order.
+        std::vector<int> bucket(blocks.size(), 64);
+        double hmax = 0.0;
+        for (int b : base)
+            hmax = std::max(hmax, (*heat)[b]);
+        if (hmax > 0.0) {
+            for (int b : base) {
+                const double h = (*heat)[b];
+                if (h <= 0.0)
+                    continue;
+                int k = 0;
+                double t = hmax;
+                while (k < 63 && h < t / 8) {
+                    t /= 8;
+                    ++k;
+                }
+                bucket[b] = k;
+            }
+            std::vector<int> by_heat = base;
+            std::stable_sort(by_heat.begin(), by_heat.end(),
+                             [&](int a, int b) {
+                                 return bucket[a] < bucket[b];
+                             });
+            for (size_t i = 0; i < by_heat.size(); ++i)
+                pos[by_heat[i]] = static_cast<int>(i);
+        }
+    }
 
     const size_t ntokens = elab_->nets.size() + elab_->arrays.size();
     std::vector<std::vector<int>> writers(ntokens);
@@ -553,9 +640,14 @@ SimulationTool::designCombOrder(const std::vector<char> &can) const
 }
 
 void
-SimulationTool::specializeDesign(const std::vector<char> &can)
+SimulationTool::specializeDesign(const std::vector<char> &can,
+                                 const std::vector<double> *heat)
 {
     Stopwatch sw;
+    // PGO emits against the heat-refined arena awaiting adoption; the
+    // plain path emits against the live one. Offsets baked into the
+    // module always match the arena it will run on.
+    ArenaStore &store = pgo_arena_ ? *pgo_arena_ : *arena_;
     // Native whole-design schedule: cluster the specializable blocks
     // with a class-aware levelization, fuse each contiguous run into
     // one emitted unit, and translate the flop phase itself.
@@ -593,15 +685,22 @@ SimulationTool::specializeDesign(const std::vector<char> &can)
         if (!run.empty())
             addNativeStep(run, out, seq);
     };
-    buildSteps(designCombOrder(can), design_comb_steps_, false);
+    buildSteps(designCombOrder(can, heat), design_comb_steps_, false);
     buildSteps(elab_->tickOrder, design_tick_steps_, true);
 
-    // The flop phase as straight-line next->current copies of every
-    // statically flopped net. Nets registered dynamically later (a
-    // lambda's writeNext) stay on the host loop — see doFlop.
-    n_static_flops_ = flopped_nets_.size();
+    // The flop phase of the static flop set, coalesced into whole-word
+    // next->current copy ranges where the layout allows; packed nets
+    // sharing a word with non-flopped residents keep a per-net masked
+    // copy. Nets registered dynamically later (a lambda's writeNext)
+    // stay on the host loop — see doFlop.
+    std::vector<int> static_flops(flopped_nets_.begin(),
+                                  flopped_nets_.begin() +
+                                      static_cast<long>(n_static_flops_));
+    FlopCopyPlan plan = store.layout().flopPlan(static_flops);
     CppUnit flop_unit;
-    for (int net : flopped_nets_)
+    for (const FlopRange &r : plan.ranges)
+        flop_unit.items.push_back(CppUnit::Item{-1, -1, r.off, r.nwords});
+    for (int net : plan.rmw_nets)
         flop_unit.items.push_back(CppUnit::Item{-1, net});
     design_flop_unit_ = static_cast<int>(units.size());
     units.push_back(flop_unit);
@@ -632,7 +731,7 @@ SimulationTool::specializeDesign(const std::vector<char> &can)
         units.push_back(std::move(step_unit));
     }
 
-    design_source_ = cppEmitProgram(*elab_, *arena_, units);
+    design_source_ = cppEmitProgram(*elab_, store, units);
     design_nunits_ = static_cast<int>(units.size());
     spec_stats_.emittedTuBytes = design_source_.size();
     spec_stats_.codegenSeconds += sw.elapsed();
@@ -678,6 +777,8 @@ SimulationTool::adoptNativeTier()
 void
 SimulationTool::maybeSwapTier()
 {
+    if (pgo_pending_ && numCycles() >= cfg_.pgo_warm_cycles)
+        startPgoBuild();
     if (!designMode() || design_native_ || tier_failed_ ||
         !cfg_.jit_tiered)
         return;
@@ -687,15 +788,72 @@ SimulationTool::maybeSwapTier()
         jit_thread_.join();
     if (jit_error_) {
         // Report the failure once; the bytecode tier stays active (it
-        // is correct, just slower), so a caller may swallow this and
-        // keep simulating.
+        // is correct, just slower — and under PGO it keeps the old
+        // layout, the pending arena is simply never adopted), so a
+        // caller may swallow this and keep simulating.
         tier_failed_ = true;
         std::exception_ptr err = jit_error_;
         jit_error_ = nullptr;
         std::rethrow_exception(err);
     }
     cpp_lib_ = std::move(pending_lib_);
+    if (pgo_arena_)
+        migrateArena();
     adoptNativeTier();
+}
+
+void
+SimulationTool::startPgoBuild()
+{
+    pgo_pending_ = false;
+    // Heat is consumed synchronously here (layout + schedule order);
+    // only the compile itself runs on the background thread.
+    const std::vector<double> *heat = nullptr;
+    if (probe_ && probe_->block_seconds.size() == elab_->blocks.size())
+        heat = &probe_->block_seconds;
+    auto lay = std::make_shared<const ArenaLayout>(
+        ArenaLayout::profiled(*elab_, nullptr, heat));
+    pgo_arena_ = std::make_unique<ArenaStore>(*elab_, std::move(lay));
+    specializeDesign(can_, heat);
+    // Drop the internal warm-up probe (an externally attached SimScope
+    // stays); its heat is already baked into the pending layout.
+    if (probe_ == pgo_probe_.get())
+        probe_ = nullptr;
+    pgo_probe_.reset();
+    can_.clear();
+    can_.shrink_to_fit();
+}
+
+void
+SimulationTool::migrateArena()
+{
+    // Per-net logical copy old arena -> heat-refined arena: values
+    // land in their new physical slots, so the native module and the
+    // migrated state agree from the first post-swap instruction.
+    const int nnets = static_cast<int>(elab_->nets.size());
+    for (int net = 0; net < nnets; ++net) {
+        pgo_arena_->write(net, arena_->read(net));
+        pgo_arena_->writeNext(net, arena_->readNext(net));
+    }
+    for (size_t a = 0; a < elab_->arrays.size(); ++a) {
+        const MemArray *array = elab_->arrays[a];
+        for (int i = 0; i < array->depth(); ++i) {
+            pgo_arena_->arrayWrite(static_cast<int>(a), i,
+                                   arena_->arrayRead(static_cast<int>(a),
+                                                     i));
+        }
+    }
+    arena_ = std::move(pgo_arena_);
+    slot_eval_ = std::make_unique<SlotEvaluator>(*arena_);
+    accessor_.bind(arena_.get(), boxed_.get(),
+                   [this](int token) { return tokenInArena(token); });
+    flop_plan_ = arena_->layout().flopPlan(
+        std::vector<int>(flopped_nets_.begin(),
+                         flopped_nets_.begin() +
+                             static_cast<long>(n_static_flops_)));
+    // The bytecode tier's programs still index the old layout, but
+    // they die with the swap: active_* swing to the design schedule in
+    // adoptNativeTier() and never swing back.
 }
 
 bool
@@ -703,6 +861,16 @@ SimulationTool::tierPending() const
 {
     return designMode() && cfg_.jit_tiered && !design_native_ &&
            !tier_failed_;
+}
+
+LayoutStats
+SimulationTool::layoutStats() const
+{
+    if (!arena_)
+        return LayoutStats{};
+    LayoutStats s = arena_->layout().stats();
+    s.flop_memcpy_ranges = static_cast<int>(flop_plan_.ranges.size());
+    return s;
 }
 
 void
@@ -886,6 +1054,29 @@ void
 SimulationTool::runStep(const Step &step, std::vector<int> *changed)
 {
     if (ScopeProbe *p = probe_) {
+        // A fused bytecode group runs many blocks in one step; timing
+        // the step as a whole would credit the entire group to one
+        // block id and starve every other member of heat (the PGO
+        // re-layout and SimScope rankings both read per-block heat).
+        // Descend and account each member program individually.
+        if (step.kind == Step::Kind::Bytecode && step.group >= 0 &&
+            group_blocks_[step.group].size() > 1 && !changed &&
+            !useBoxed()) {
+            const auto &blks = group_blocks_[step.group];
+            const auto &progs = group_bc_[step.group];
+            for (size_t i = 0; i < progs.size(); ++i) {
+                if (p->shouldTime(blks[i])) {
+                    Stopwatch sw;
+                    bcRun(*progs[i], arena_->data(),
+                          bc_scratch_.data());
+                    p->addBlockTime(blks[i], sw.elapsed());
+                } else {
+                    bcRun(*progs[i], arena_->data(),
+                          bc_scratch_.data());
+                }
+            }
+            return;
+        }
         if (p->shouldTime(step.block)) {
             Stopwatch sw;
             runStepImpl(step, changed);
@@ -1085,6 +1276,17 @@ SimulationTool::doFlop(std::vector<int> *changed)
             arena_->flop(flopped_nets_[i]);
         return;
     }
+    if (arena_ && !useBoxed() && !changed && !gating_) {
+        // No per-net change notification needed: copy the static flop
+        // set as whole-word ranges (plus the masked stragglers whose
+        // word-mates are not all flopped), then the dynamic tail.
+        arena_->flopRanges(flop_plan_.ranges);
+        for (int net : flop_plan_.rmw_nets)
+            arena_->flop(net);
+        for (size_t i = n_static_flops_; i < flopped_nets_.size(); ++i)
+            arena_->flop(flopped_nets_[i]);
+        return;
+    }
     for (int net : flopped_nets_) {
         bool ch = tokenInArena(net) ? arena_->flop(net)
                                     : boxed_->flop(net);
@@ -1166,41 +1368,25 @@ SimulationTool::writeNext(Signal &sig, const Bits &value)
 Bits
 SimulationTool::readNetNext(int net) const
 {
-    return tokenInArena(net) ? arena_->readNext(net)
-                             : boxed_->readNext(net);
+    return accessor_.readNetNext(net);
 }
 
 void
 SimulationTool::pokeNet(int net, const Bits &value)
 {
-    bool ch = tokenInArena(net) ? arena_->write(net, value)
-                                : boxed_->write(net, value);
-    if (ch) {
-        dirty_ = true;
-        if (eventDriven())
-            enqueueReaders(net);
-        else if (gating_)
-            markTokenStepsDirty(net);
-    }
+    accessor_.pokeNet(net, value);
 }
 
 void
 SimulationTool::pokeNetNext(int net, const Bits &value)
 {
-    if (tokenInArena(net))
-        arena_->writeNext(net, value);
-    else
-        boxed_->writeNext(net, value);
+    accessor_.pokeNetNext(net, value);
 }
 
 std::vector<int>
 SimulationTool::dynamicFlopNets() const
 {
-    std::vector<int> out;
-    for (int net : flopped_nets_)
-        if (!elab_->nets[net].floppedStatic)
-            out.push_back(net);
-    return out;
+    return NetAccessor::dynamicFlops(*elab_, flopped_nets_);
 }
 
 void

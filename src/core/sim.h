@@ -45,6 +45,7 @@
 #include <thread>
 #include <vector>
 
+#include "accessor.h"
 #include "ir_bytecode.h"
 #include "ir_eval.h"
 #include "jit_cpp.h"
@@ -154,6 +155,22 @@ struct SimConfig
      * default.
      */
     bool gating = true;
+    /**
+     * Arena data-layout policy (layout.h). Elab reproduces the
+     * historical elaboration-order layout; Profile groups nets by
+     * partition island and producer block, bit-packs narrow nets and
+     * coalesces the flop phase into contiguous word-copy ranges.
+     * Orthogonal to the backend string (not part of toString());
+     * results are bit- and VCD-identical across policies.
+     */
+    LayoutPolicy layout = LayoutPolicy::Elab;
+    /**
+     * cpp-design + Profile + jit_tiered only: cycles to run on the
+     * bytecode warm-up tier gathering block heat before the layout is
+     * re-derived from the measured profile and the fused translation
+     * unit is emitted and compiled in the background (the PGO loop).
+     */
+    uint64_t pgo_warm_cycles = 2000;
 
     /**
      * Normalize the config in place: derive backend from exec/spec
@@ -377,6 +394,14 @@ class Simulator : public SignalAccess
     void attachScope(ScopeProbe *probe) { probe_ = probe; }
     ScopeProbe *scopeProbe() const { return probe_; }
 
+    /**
+     * Data-layout observability: the active arena layout's counters
+     * with flop_memcpy_ranges filled in from the kernel's flop plan.
+     * Defaults (elab policy, zero counters) on storage without an
+     * arena (pure interp).
+     */
+    virtual LayoutStats layoutStats() const { return LayoutStats{}; }
+
     /** Direct net-level value access for tools (VCD, testing). */
     virtual Bits readNet(int net) const = 0;
 
@@ -451,6 +476,7 @@ class SimulationTool : public Simulator
     void registerDynamicFlops(const std::vector<int> &nets) override;
 
     bool tierPending() const override;
+    LayoutStats layoutStats() const override;
 
     // --- SignalAccess ----------------------------------------------
     Bits read(const Signal &sig) const override;
@@ -477,10 +503,20 @@ class SimulationTool : public Simulator
     Step makeStep(int idx) const;
     void buildSchedule();
     void specialize();
-    void specializeDesign(const std::vector<char> &can);
-    std::vector<int> designCombOrder(const std::vector<char> &can) const;
+    void specializeDesign(const std::vector<char> &can,
+                          const std::vector<double> *heat);
+    std::vector<int> designCombOrder(const std::vector<char> &can,
+                                     const std::vector<double> *heat) const;
     void adoptNativeTier();
     void maybeSwapTier();
+    /** True when the layout will be re-derived from measured heat. */
+    bool pgoActive() const
+    {
+        return designMode() && cfg_.jit_tiered &&
+               cfg_.layout == LayoutPolicy::Profile;
+    }
+    void startPgoBuild();
+    void migrateArena();
     void runStep(const Step &step, std::vector<int> *changed);
     void runStepImpl(const Step &step, std::vector<int> *changed);
     void cycleProfiled();
@@ -521,6 +557,8 @@ class SimulationTool : public Simulator
     std::unique_ptr<ArenaStore> arena_;
     std::unique_ptr<BoxedEvaluator> boxed_eval_;
     std::unique_ptr<SlotEvaluator> slot_eval_;
+    /** Snap/poke hooks delegate here (accessor.h). */
+    NetAccessor accessor_;
 
     bool event_driven_ = false;
     std::vector<Step> comb_steps_; //!< static order (or event pool)
@@ -550,11 +588,26 @@ class SimulationTool : public Simulator
     CppJitLibrary pending_lib_;
     std::exception_ptr jit_error_;
 
+    // --- profile-guided layout (cpp-design + Profile + tiered) -----
+    // TU emission is deferred past a warm-up window; the heat the
+    // probe gathered refines the layout and orders the fused schedule,
+    // then the normal background tier swap adopts module AND arena
+    // together (migrateArena).
+    bool pgo_pending_ = false;
+    std::vector<char> can_; //!< saved specializable mask for re-emit
+    std::unique_ptr<ScopeProbe> pgo_probe_; //!< internal heat source
+    std::unique_ptr<ArenaStore> pgo_arena_; //!< awaiting adoption
+    /** Static-flop copy plan for the active arena (doFlop fast path). */
+    FlopCopyPlan flop_plan_;
+
     std::vector<BcProgram> bc_programs_; //!< per specialized block
     std::vector<uint64_t> bc_scratch_;
     CppJitLibrary cpp_lib_;
     /** Per specialization group: member programs + marshal sets. */
     std::vector<std::vector<const BcProgram *>> group_bc_;
+    /** Member block ids of each bytecode group, in execution order —
+     *  lets a probe attribute time per block inside a fused step. */
+    std::vector<std::vector<int>> group_blocks_;
     std::vector<std::vector<int>> group_reads_;
     std::vector<std::vector<int>> group_writes_;
 

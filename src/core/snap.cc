@@ -173,6 +173,8 @@ constexpr uint32_t kTagNxts = fourcc('N', 'X', 'T', 'S');
 constexpr uint32_t kTagArry = fourcc('A', 'R', 'R', 'Y');
 constexpr uint32_t kTagFlop = fourcc('F', 'L', 'O', 'P');
 constexpr uint32_t kTagModl = fourcc('M', 'O', 'D', 'L');
+// v2: optional, informational — the capturing arena's layout policy.
+constexpr uint32_t kTagLayt = fourcc('L', 'A', 'Y', 'T');
 
 std::string
 tagName(uint32_t tag)
@@ -253,6 +255,9 @@ SimSnapshot::encode() const
         modl_w.str(entry.second);
     }
 
+    SnapWriter layt_w;
+    layt_w.str(layout_policy);
+
     struct Section
     {
         uint32_t tag;
@@ -261,7 +266,7 @@ SimSnapshot::encode() const
     const Section sections[] = {
         {kTagNets, &nets_w.buffer()}, {kTagNxts, &nxts_w.buffer()},
         {kTagArry, &arry_w.buffer()}, {kTagFlop, &flop_w.buffer()},
-        {kTagModl, &modl_w.buffer()},
+        {kTagModl, &modl_w.buffer()}, {kTagLayt, &layt_w.buffer()},
     };
     const size_t nsections = sizeof(sections) / sizeof(sections[0]);
 
@@ -298,10 +303,11 @@ SimSnapshot::decode(const std::string &bytes)
     char magic[8];
     header.raw(magic, sizeof(magic));
     uint32_t version = header.u32();
-    if (version != kSnapFormatVersion)
+    if (version < kSnapMinFormatVersion || version > kSnapFormatVersion)
         throw SnapError(
             "snapshot format version " + std::to_string(version) +
-            " unsupported (this build reads version " +
+            " unsupported (this build reads versions " +
+            std::to_string(kSnapMinFormatVersion) + ".." +
             std::to_string(kSnapFormatVersion) +
             "); regenerate the snapshot, or the header is corrupted");
 
@@ -392,6 +398,10 @@ SimSnapshot::decode(const std::string &bytes)
                 entry.second = r.str();
             }
             seen_modl = true;
+        } else if (tag == kTagLayt) {
+            // Optional since v2; informational only, so absence (any
+            // v1 image) or presence never gates the restore.
+            snap.layout_policy = r.str();
         } else {
             throw SnapError("snapshot corrupted: unknown section '" +
                             tagName(tag) + "'");
@@ -529,6 +539,7 @@ snapSave(const Simulator &sim)
     }
 
     snap.dynamic_flops = sim.dynamicFlopNets();
+    snap.layout_policy = layoutPolicyName(sim.layoutStats().policy);
 
     for (Model *model : elab.models) {
         SnapWriter w;
@@ -897,8 +908,10 @@ StimTape::decode(const std::string &bytes)
                  bytes.size() - 4);
     char magic[8];
     r.raw(magic, sizeof(magic));
+    // Tape payloads never changed across snapshot format bumps, so
+    // any version in the supported window loads.
     uint32_t version = r.u32();
-    if (version != kSnapFormatVersion)
+    if (version < kSnapMinFormatVersion || version > kSnapFormatVersion)
         throw SnapError("stimulus tape format version " +
                         std::to_string(version) + " unsupported");
     StimTape tape;

@@ -15,7 +15,7 @@
  * "cpp-design" or ParSim --threads 4: the restored run is bit-identical
  * to the uninterrupted one, including its VCD continuation.
  *
- * File format (version 1, all integers little-endian):
+ * File format (version 2, all integers little-endian):
  *
  *   header   "CMTLSNAP" | u32 version | u32 nsections
  *            | u64 design_hash | u64 cycle
@@ -25,10 +25,16 @@
  *
  * Sections: NETS (current net values), NXTS (next-phase values), ARRY
  * (memory arrays), FLOP (dynamically registered flop net ids), MODL
- * (per-model opaque host-state blobs keyed by hierarchical name).
- * Every load failure — bad magic, unknown version, corrupted checksum,
- * design mismatch — throws SnapError with a diagnostic; a snapshot is
- * never silently misapplied.
+ * (per-model opaque host-state blobs keyed by hierarchical name), and
+ * since version 2 an optional informational LAYT section naming the
+ * capturing simulator's arena layout policy. NETS/NXTS are logical
+ * net-id ordered — the physical arena layout never leaks into the
+ * state sections — so digests are layout-independent and any image
+ * restores into any layout, backend and thread count; version 1
+ * images (no LAYT) still load. Every load failure — bad magic,
+ * unknown version, corrupted checksum, design mismatch — throws
+ * SnapError with a diagnostic; a snapshot is never silently
+ * misapplied.
  */
 
 #ifndef CMTL_CORE_SNAP_H
@@ -57,9 +63,14 @@ class SnapError : public std::runtime_error
 /**
  * Snapshot format version. Bump whenever the byte layout of the
  * encoded image changes (the golden-snapshot test in
- * tests/core/test_snap.cc fails loudly otherwise).
+ * tests/core/test_snap.cc fails loudly otherwise). Readers accept
+ * every version back to kSnapMinFormatVersion.
+ *
+ * History: v1 five required sections; v2 adds the optional LAYT
+ * layout-policy section (Arena v2).
  */
-constexpr uint32_t kSnapFormatVersion = 1;
+constexpr uint32_t kSnapFormatVersion = 2;
+constexpr uint32_t kSnapMinFormatVersion = 1;
 
 /** CRC-32 (IEEE 802.3 polynomial, as in zip/zlib). */
 uint32_t snapCrc32(const void *data, size_t len, uint32_t seed = 0);
@@ -134,6 +145,13 @@ struct SimSnapshot
     std::vector<int> dynamic_flops;
     /** (hierarchical model name, opaque Model::snapSave blob). */
     std::vector<std::pair<std::string, std::string>> model_state;
+    /**
+     * Arena layout policy of the capturing simulator ("elab" /
+     * "profile"; empty on version-1 images). Purely informational —
+     * excluded from digest(), never constrains restoration (state is
+     * logical-net ordered, so any layout restores any image).
+     */
+    std::string layout_policy;
 
     /** Serialize to the versioned, checksummed byte image. */
     std::string encode() const;

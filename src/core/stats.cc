@@ -54,6 +54,15 @@ simulatorReport(const Simulator &sim)
            << " comb block(s), " << spec.deadNetsElided
            << " net(s) elided\n";
     }
+    {
+        const LayoutStats lay = sim.layoutStats();
+        os << "  layout: " << layoutPolicyName(lay.policy)
+           << (lay.pgo ? " (pgo-refined)" : "") << ", "
+           << lay.words_per_phase << " words/phase, " << lay.packed_nets
+           << " net(s) packed saving " << lay.packed_bits_saved
+           << " bit(s), flop memcpy ranges " << lay.flop_memcpy_ranges
+           << "\n";
+    }
     if (const auto *par = dynamic_cast<const ParSimulationTool *>(&sim)) {
         os << partitionReport(sim.elaboration(), par->plan());
         // Static race audit verdict: prove (or refute) the partition

@@ -81,33 +81,43 @@ BoxedStore::flop(int net)
 // ------------------------------------------------------------ ArenaStore
 
 ArenaStore::ArenaStore(const Elaboration &elab)
+    : ArenaStore(elab, std::make_shared<const ArenaLayout>(
+                           ArenaLayout::elabOrder(elab)))
+{
+}
+
+ArenaStore::ArenaStore(const Elaboration &elab,
+                       std::shared_ptr<const ArenaLayout> layout)
+    : layout_(std::move(layout))
 {
     const int nnets = static_cast<int>(elab.nets.size());
     offset_.resize(nnets);
+    shift_.resize(nnets);
+    packed_.resize(nnets);
     nwords_.resize(nnets);
     nbits_.resize(nnets);
     mask_.resize(nnets);
-    int off = 0;
     for (int i = 0; i < nnets; ++i) {
-        const Net &net = elab.nets[i];
-        offset_[i] = off;
-        nwords_[i] = bitsToWords(net.nbits);
-        nbits_[i] = net.nbits;
-        mask_[i] = topWordMask(net.nbits);
-        off += nwords_[i];
+        const LayoutSlot &s = layout_->slot(i);
+        offset_[i] = s.word_off;
+        shift_[i] = s.shift;
+        packed_[i] = layout_->packed(i) ? 1 : 0;
+        nwords_[i] = s.nwords;
+        nbits_[i] = s.nbits;
+        mask_[i] = s.mask;
     }
-    words_per_phase_ = off;
+    words_per_phase_ = layout_->wordsPerPhase();
 
     // Array storage lives past the two net phases.
-    int array_off = off * 2;
-    for (const MemArray *array : elab.arrays) {
-        array_offset_.push_back(array_off);
+    for (size_t a = 0; a < elab.arrays.size(); ++a) {
+        const MemArray *array = elab.arrays[a];
+        array_offset_.push_back(
+            layout_->arrayOffset(static_cast<int>(a)));
         array_mask_.push_back(array->indexMask());
         array_vmask_.push_back(topWordMask(array->nbits()));
         array_nbits_.push_back(array->nbits());
-        array_off += array->depth();
     }
-    words_.assign(static_cast<size_t>(array_off), 0);
+    words_.assign(static_cast<size_t>(layout_->totalWords()), 0);
 }
 
 Bits
@@ -130,7 +140,8 @@ Bits
 ArenaStore::read(int net) const
 {
     if (nwords_[net] == 1)
-        return Bits(nbits_[net], words_[offset_[net]]);
+        return Bits(nbits_[net],
+                    (words_[offset_[net]] >> shift_[net]) & mask_[net]);
     std::vector<uint64_t> w(words_.begin() + offset_[net],
                             words_.begin() + offset_[net] + nwords_[net]);
     return Bits::fromWords(nbits_[net], w);
@@ -141,7 +152,8 @@ ArenaStore::readNext(int net) const
 {
     int base = offset_[net] + words_per_phase_;
     if (nwords_[net] == 1)
-        return Bits(nbits_[net], words_[base]);
+        return Bits(nbits_[net],
+                    (words_[base] >> shift_[net]) & mask_[net]);
     std::vector<uint64_t> w(words_.begin() + base,
                             words_.begin() + base + nwords_[net]);
     return Bits::fromWords(nbits_[net], w);
@@ -150,8 +162,18 @@ ArenaStore::readNext(int net) const
 bool
 ArenaStore::write(int net, const Bits &value)
 {
-    bool changed = false;
     int base = offset_[net];
+    if (nwords_[net] == 1) {
+        // Masked read-modify-write: packed word-mates keep their
+        // bits; the change test covers only this net's field.
+        uint64_t v = value.word(0) & mask_[net];
+        uint64_t &w = words_[base];
+        if (((w >> shift_[net]) & mask_[net]) == v)
+            return false;
+        w = (w & ~(mask_[net] << shift_[net])) | (v << shift_[net]);
+        return true;
+    }
+    bool changed = false;
     for (int i = 0; i < nwords_[net]; ++i) {
         uint64_t w = value.word(i);
         if (i == nwords_[net] - 1)
@@ -168,6 +190,12 @@ void
 ArenaStore::writeNext(int net, const Bits &value)
 {
     int base = offset_[net] + words_per_phase_;
+    if (nwords_[net] == 1) {
+        uint64_t v = value.word(0) & mask_[net];
+        uint64_t &w = words_[base];
+        w = (w & ~(mask_[net] << shift_[net])) | (v << shift_[net]);
+        return;
+    }
     for (int i = 0; i < nwords_[net]; ++i) {
         uint64_t w = value.word(i);
         if (i == nwords_[net] - 1)
@@ -179,9 +207,19 @@ ArenaStore::writeNext(int net, const Bits &value)
 bool
 ArenaStore::flop(int net)
 {
-    bool changed = false;
     int cur = offset_[net];
     int nxt = cur + words_per_phase_;
+    if (nwords_[net] == 1) {
+        // Copy only this net's field: word-mates may not be flopped
+        // (dynamically registered flops can live in comb words).
+        uint64_t v = (words_[nxt] >> shift_[net]) & mask_[net];
+        uint64_t &w = words_[cur];
+        if (((w >> shift_[net]) & mask_[net]) == v)
+            return false;
+        w = (w & ~(mask_[net] << shift_[net])) | (v << shift_[net]);
+        return true;
+    }
+    bool changed = false;
     for (int i = 0; i < nwords_[net]; ++i) {
         if (words_[cur + i] != words_[nxt + i]) {
             words_[cur + i] = words_[nxt + i];
@@ -189,6 +227,18 @@ ArenaStore::flop(int net)
         }
     }
     return changed;
+}
+
+void
+ArenaStore::flopRanges(const std::vector<FlopRange> &ranges)
+{
+    uint64_t *w = words_.data();
+    for (const FlopRange &r : ranges) {
+        const uint64_t *src = w + r.off + words_per_phase_;
+        uint64_t *dst = w + r.off;
+        for (int i = 0; i < r.nwords; ++i)
+            dst[i] = src[i];
+    }
 }
 
 } // namespace cmtl

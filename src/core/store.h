@@ -11,11 +11,16 @@
  *    simulation pays for attribute lookup and Bits object churn.
  *
  *  - ArenaStore (the PyPy/SimJIT analog): net values live in a dense
- *    uint64 word arena with per-net (offset, nwords) descriptors; the
- *    current-value region is words [0, W) and the next-value (non-
- *    blocking) region is words [W, 2W). Reads and writes are direct
- *    indexed loads/stores, the result of slot-binding every signal
- *    once, the way a tracing JIT's attribute caches do.
+ *    uint64 word arena; the current-value region is words [0, W) and
+ *    the next-value (non-blocking) region is words [W, 2W). Reads and
+ *    writes are direct indexed loads/stores, the result of
+ *    slot-binding every signal once, the way a tracing JIT's
+ *    attribute caches do. Which physical word (and bit position,
+ *    under bit packing) a net occupies is decided by an ArenaLayout
+ *    (layout.h); the store is just the memory plus layout-aware
+ *    accessors. Packed nets read with a shift+mask and write with a
+ *    masked read-modify-write, so word sharing is invisible above
+ *    this API.
  */
 
 #ifndef CMTL_CORE_STORE_H
@@ -27,6 +32,7 @@
 #include <vector>
 
 #include "bits.h"
+#include "layout.h"
 #include "model.h"
 
 namespace cmtl {
@@ -69,13 +75,32 @@ class BoxedStore
 class ArenaStore
 {
   public:
+    /** Historical behaviour: a fresh elaboration-order layout. */
     explicit ArenaStore(const Elaboration &elab);
+    /**
+     * Arena over an explicit layout. ParSim replicas pass one shared
+     * instance so every replica's physical layout is identical by
+     * construction.
+     */
+    ArenaStore(const Elaboration &elab,
+               std::shared_ptr<const ArenaLayout> layout);
+
+    const ArenaLayout &layout() const { return *layout_; }
+    std::shared_ptr<const ArenaLayout> layoutPtr() const
+    {
+        return layout_;
+    }
 
     int wordsPerPhase() const { return words_per_phase_; }
     uint64_t *data() { return words_.data(); }
     const uint64_t *data() const { return words_.data(); }
 
+    /** First word of the net's slot within a phase. */
     int offset(int net) const { return offset_[net]; }
+    /** Bit position of the net within its word (0 unless packed). */
+    int shift(int net) const { return shift_[net]; }
+    /** True iff the net shares its word with other nets. */
+    bool packed(int net) const { return packed_[net] != 0; }
     int nwords(int net) const { return nwords_[net]; }
     int nbits(int net) const { return nbits_[net]; }
     uint64_t mask(int net) const { return mask_[net]; }
@@ -88,6 +113,9 @@ class ArenaStore
     bool write(int net, const Bits &value);
     void writeNext(int net, const Bits &value);
     bool flop(int net);
+
+    /** Whole-word next -> current copies (precomputed flop plan). */
+    void flopRanges(const std::vector<FlopRange> &ranges);
 
     /** Word offset of an array's storage region. */
     int arrayOffset(int array_id) const { return array_offset_[array_id]; }
@@ -103,25 +131,16 @@ class ArenaStore
     Bits arrayRead(int array_id, uint64_t index) const;
     void arrayWrite(int array_id, uint64_t index, const Bits &value);
 
-    // Fast single-word accessors (narrow nets only).
-    uint64_t readWord(int net) const { return words_[offset_[net]]; }
-    void
-    writeWord(int net, uint64_t value)
-    {
-        words_[offset_[net]] = value & mask_[net];
-    }
-    void
-    writeNextWord(int net, uint64_t value)
-    {
-        words_[offset_[net] + words_per_phase_] = value & mask_[net];
-    }
-
   private:
+    std::shared_ptr<const ArenaLayout> layout_;
     std::vector<uint64_t> words_; //!< [cur][next][array storage]
+    // Flat copies of the layout's slot table (hot-path locality).
     std::vector<int> offset_;
+    std::vector<int> shift_;
+    std::vector<char> packed_;
     std::vector<int> nwords_;
     std::vector<int> nbits_;
-    std::vector<uint64_t> mask_; //!< top-word mask per net
+    std::vector<uint64_t> mask_; //!< top-word value mask per net
     std::vector<int> array_offset_;
     std::vector<uint64_t> array_mask_;  //!< index masks
     std::vector<uint64_t> array_vmask_; //!< element value masks

@@ -59,7 +59,8 @@ const char *
 SimOptions::usage()
 {
     return "[--backend=interp|optinterp|bytecode|cpp-block|cpp-design]"
-           " [--threads=N] [--profile[=json]] [--level=fl|cl|clspec|rtl]"
+           " [--layout=elab|profile] [--threads=N] [--profile[=json]]"
+           " [--level=fl|cl|clspec|rtl]"
            " [--cycles=N] [--vcd=path] [--checkpoint=path[:N]]"
            " [--resume=path] [--listen=socket] [--jobs=N] [--audit]"
            " [--dead-elim] [--full] [--help]";
@@ -74,6 +75,12 @@ SimOptions::helpTable()
         "                      bytecode | cpp-block | cpp-design |\n"
         "                      interp+bytecode | interp+cpp-block\n"
         "                      (\"cpp\" is accepted for cpp-block)\n"
+        "  --layout=<p>        arena data layout policy: elab (net\n"
+        "                      declaration order) | profile (group by\n"
+        "                      partition island and producer block,\n"
+        "                      bit-pack narrow nets, coalesce the flop\n"
+        "                      phase; with cpp-design tiering, re-lays\n"
+        "                      out from measured block heat)\n"
         "  --threads=<n>       host threads; >1 runs the parallel\n"
         "                      ParSim kernel (clamped to the hardware\n"
         "                      thread count with a warning)\n"
@@ -118,6 +125,13 @@ SimOptions::parse(int argc, char **argv)
                 opts.cfg.exec = parsed.exec;
                 opts.cfg.spec = parsed.spec;
                 opts.backend_set = true;
+            } catch (const std::invalid_argument &e) {
+                std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+                std::exit(2);
+            }
+        } else if (optionValue("--layout", argc, argv, i, value)) {
+            try {
+                opts.cfg.layout = layoutPolicyFromName(value);
             } catch (const std::invalid_argument &e) {
                 std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
                 std::exit(2);

@@ -390,6 +390,40 @@ TEST(SnapGolden, EncodedImageMatchesCheckedInBytes)
            "src/core/snap.h and regenerate with CMTL_REGEN_GOLDEN=1";
 }
 
+/**
+ * Backward compatibility: a version-1 image (written before the
+ * layout-aware format bump added the optional LAYT section) must
+ * still decode and restore. The v1 golden was produced by the same
+ * fixture run as the current golden, so the restored state must match
+ * a fresh drive exactly.
+ */
+TEST(SnapGolden, Version1ImageStillDecodesAndRestores)
+{
+    const std::string v1_path =
+        std::string(CMTL_TEST_DATA_DIR) + "/golden_snap_v1.bin";
+    std::string image = slurp(v1_path);
+    ASSERT_FALSE(image.empty()) << "missing golden file " << v1_path;
+
+    SimSnapshot snap = SimSnapshot::decode(image);
+    EXPECT_TRUE(snap.layout_policy.empty())
+        << "a v1 image cannot carry a LAYT section";
+
+    SnapFixture fix;
+    auto elab = fix.elaborate();
+    SimulationTool sim(elab, backendCfg("interp", 1));
+    snapRestore(sim, snap);
+
+    SnapFixture fix2;
+    auto elab2 = fix2.elaborate();
+    SimulationTool ref(elab2, backendCfg("interp", 1));
+    ref.reset();
+    driveFixture(fix2, ref, 7);
+
+    EXPECT_EQ(sim.numCycles(), ref.numCycles());
+    expectSameState(ref, sim, "v1 golden restore");
+    EXPECT_EQ(snap.digest(), snapSave(ref).digest());
+}
+
 // ------------------------------------------------- failure handling
 
 class SnapFailures : public ::testing::Test
@@ -439,7 +473,7 @@ TEST_F(SnapFailures, UnsupportedVersionIsDiagnosed)
     std::string err = errorOf(bad);
     EXPECT_NE(err.find("version 99 unsupported"), std::string::npos)
         << err;
-    EXPECT_NE(err.find("version 1"), std::string::npos) << err;
+    EXPECT_NE(err.find("versions 1..2"), std::string::npos) << err;
 }
 
 TEST_F(SnapFailures, CorruptedPayloadFailsTheChecksum)
