@@ -9,8 +9,14 @@
  *
  * Usage: mesh_network [fl|cl|clspec|rtl] [nrouters]
  *                     [--backend=<b>] [--threads N] [--profile[=json]]
+ *                     [--traffic=pattern] [--seed=N]
  *                     [--cycles=N] [--vcd=path] [--audit] [--dead-elim]
  *                     [--checkpoint=path[:N]] [--resume=path]
+ *
+ * --traffic picks the spatial/temporal traffic pattern (uniform,
+ * tornado, hotspot, bit-complement, bursty; default uniform) and
+ * --seed the RNG seed (default 7), so any curve in the output is
+ * reproducible from its command line.
  *
  * --audit is a pure static mode: partition the design at the requested
  * thread count (at least 2) and run the race auditor over it, printing
@@ -60,11 +66,12 @@ namespace {
  * an uninterrupted run and any snapshot-resumed continuation.
  */
 int
-runCheckpointMode(const SimOptions &opts, NetLevel level, int nrouters)
+runCheckpointMode(const SimOptions &opts, NetLevel level, int nrouters,
+                  uint64_t seed, TrafficPattern pattern)
 {
     uint64_t cycles = opts.cycles ? opts.cycles : 8000;
     auto top = std::make_unique<MeshTrafficTop>("top", level, nrouters,
-                                                4, 0.30, 7);
+                                                4, 0.30, seed, pattern);
     auto elab = top->elaborate();
     auto sim = makeSimulator(elab, opts.cfg);
 
@@ -117,10 +124,21 @@ main(int argc, char **argv)
                      : opts.level == "rtl"    ? NetLevel::RTL
                                               : NetLevel::CL;
     int nrouters = opts.intArg(16);
+    uint64_t seed = opts.seed_set ? opts.seed : 7;
+    TrafficPattern pattern = TrafficPattern::Uniform;
+    if (!opts.traffic.empty() &&
+        !trafficPatternFromName(opts.traffic, &pattern)) {
+        std::fprintf(stderr,
+                     "%s: unknown traffic pattern '%s' (uniform | "
+                     "tornado | hotspot | bit-complement | bursty)\n",
+                     argv[0], opts.traffic.c_str());
+        return 2;
+    }
 
     if (!opts.checkpoint_path.empty() || !opts.resume.empty()) {
         try {
-            return runCheckpointMode(opts, level, nrouters);
+            return runCheckpointMode(opts, level, nrouters, seed,
+                                     pattern);
         } catch (const SnapError &e) {
             std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
             return 1;
@@ -134,7 +152,8 @@ main(int argc, char **argv)
         // Static mode: prove the partition invariants that make the
         // BSP schedule race-free, without simulating a cycle.
         auto top = std::make_unique<MeshTrafficTop>("top", level,
-                                                    nrouters, 4, 0.30, 7);
+                                                    nrouters, 4, 0.30,
+                                                    seed, pattern);
         auto elab = top->elaborate();
         int nislands = std::max(threads, 2);
         RaceAuditReport report =
@@ -145,16 +164,18 @@ main(int argc, char **argv)
         return report.ok() ? 0 : 1;
     }
 
-    std::printf("%s mesh, %d routers, uniform random traffic, %d "
+    std::printf("%s mesh, %d routers, %s traffic (seed %llu), %d "
                 "thread(s), backend %s\n\n",
-                netLevelName(level), nrouters, threads,
+                netLevelName(level), nrouters,
+                trafficPatternName(pattern),
+                static_cast<unsigned long long>(seed), threads,
                 cfg.toString().c_str());
     std::printf("%9s %12s %12s\n", "injection", "avg latency",
                 "throughput");
     bool reported = false;
     for (double inj : {0.02, 0.10, 0.20, 0.30, 0.40}) {
-        auto top = std::make_unique<MeshTrafficTop>("top", level,
-                                                    nrouters, 4, inj, 7);
+        auto top = std::make_unique<MeshTrafficTop>(
+            "top", level, nrouters, 4, inj, seed, pattern);
         auto elab = top->elaborate();
         auto sim = makeSimulator(elab, cfg);
         sim->cycle(500);
@@ -172,8 +193,8 @@ main(int argc, char **argv)
     if (profile) {
         // Profiled run near saturation: hot blocks with hierarchical
         // paths, phase timing and every val/rdy channel in the design.
-        auto ptop = std::make_unique<MeshTrafficTop>("top", level,
-                                                     nrouters, 4, 0.30, 7);
+        auto ptop = std::make_unique<MeshTrafficTop>(
+            "top", level, nrouters, 4, 0.30, seed, pattern);
         auto psim = makeSimulator(ptop->elaborate(), cfg);
         SimScope scope(*psim);
         int nchannels = scope.traceAllValRdy();

@@ -783,6 +783,44 @@ StimTape::channel(const Signal &sig)
     chans_.push_back(std::move(chan));
 }
 
+void
+StimTape::channel(const std::string &name, int nbits)
+{
+    if (nentries_ != 0)
+        throw SnapError("StimTape: cannot add channels to a recorded "
+                        "tape");
+    if (nbits <= 0)
+        throw SnapError("StimTape: channel '" + name +
+                        "' must be at least 1 bit wide");
+    Chan chan;
+    chan.name = name;
+    chan.nbits = nbits;
+    chan.net = -1; // resolved lazily by bind()
+    chans_.push_back(std::move(chan));
+}
+
+void
+StimTape::append(const std::vector<Bits> &values)
+{
+    if (values.size() != chans_.size())
+        throw SnapError("StimTape: append got " +
+                        std::to_string(values.size()) +
+                        " value(s) for " + std::to_string(chans_.size()) +
+                        " channel(s)");
+    for (size_t i = 0; i < chans_.size(); ++i) {
+        if (values[i].nbits() != chans_[i].nbits)
+            throw SnapError("StimTape: append value for channel '" +
+                            chans_[i].name + "' is " +
+                            std::to_string(values[i].nbits()) +
+                            " bit(s), expected " +
+                            std::to_string(chans_[i].nbits));
+    }
+    for (const Bits &value : values)
+        for (int w = 0; w < value.nwords(); ++w)
+            words_.push_back(value.word(w));
+    ++nentries_;
+}
+
 size_t
 StimTape::entryWords() const
 {
@@ -985,6 +1023,22 @@ DivergenceReport::summary() const
     return os.str();
 }
 
+void
+DivergenceBisector::advance(Simulator &sim, uint64_t n)
+{
+    if (!stim_) {
+        sim.cycle(n);
+        return;
+    }
+    // Stimulus is a function of numCycles(), so the same cycle sees
+    // the same pokes whether reached straight-line or via a restored
+    // probe.
+    for (uint64_t i = 0; i < n; ++i) {
+        stim_(sim);
+        sim.cycle();
+    }
+}
+
 DivergenceReport
 DivergenceBisector::run(const SimSnapshot &start, uint64_t horizon)
 {
@@ -1018,8 +1072,8 @@ DivergenceBisector::run(const SimSnapshot &start, uint64_t horizon)
         uint64_t stride = 1;
         while (done < horizon) {
             uint64_t n = std::min(stride, horizon - done);
-            a->cycle(n);
-            b->cycle(n);
+            advance(*a, n);
+            advance(*b, n);
             done += n;
             rep.cycles_executed += 2 * n;
             SimSnapshot sa = snapSave(*a);
@@ -1043,8 +1097,8 @@ DivergenceBisector::run(const SimSnapshot &start, uint64_t horizon)
         while (window - lo > 1) {
             uint64_t mid = lo + (window - lo) / 2;
             restorePair(base, a, b);
-            a->cycle(mid);
-            b->cycle(mid);
+            advance(*a, mid);
+            advance(*b, mid);
             rep.cycles_executed += 2 * mid;
             SimSnapshot sa = snapSave(*a);
             if (sa.digest() == snapSave(*b).digest()) {
@@ -1061,8 +1115,8 @@ DivergenceBisector::run(const SimSnapshot &start, uint64_t horizon)
     // Detail pass: run the single divergent cycle and name what broke.
     restorePair(base, a, b);
     if (rep.first_divergent_cycle > base.cycle) {
-        a->cycle(1);
-        b->cycle(1);
+        advance(*a, 1);
+        advance(*b, 1);
         rep.cycles_executed += 2;
     }
     SimSnapshot fa = snapSave(*a);

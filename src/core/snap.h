@@ -266,6 +266,23 @@ class StimTape
     /** Track @p sig (elaborated) as a stimulus channel. */
     void channel(const Signal &sig);
 
+    /**
+     * Track a channel by hierarchical name and width, resolved lazily
+     * against the first design the tape is applied to. This is how
+     * synthetic tapes (the SimFuzz stimulus generator) declare their
+     * channels without an elaborated signal in hand.
+     */
+    void channel(const std::string &name, int nbits);
+
+    /**
+     * Append one entry — one value per channel, in channel order —
+     * to a programmatically built tape. Throws SnapError when the
+     * value count or any width disagrees with the channel table.
+     * Mutually composable with decode()/encode() but not with
+     * attachRecorder (a tape has exactly one producer).
+     */
+    void append(const std::vector<Bits> &values);
+
     /** Record mode: append tracked values after every cycle. */
     void attachRecorder(Simulator &sim);
 
@@ -341,12 +358,30 @@ class DivergenceBisector
     {
     }
 
+    /**
+     * Per-cycle stimulus applied to BOTH sides before every cycle the
+     * search executes (scan, binary search and the final detail pass),
+     * e.g. `[&tape](Simulator &s) { tape.applyTo(s); }`. The callback
+     * must be a pure function of the simulator's cycle number —
+     * StimTape::applyTo indexes by numCycles(), so replayed tapes
+     * qualify — or restored probes would see different inputs than
+     * the straight-line run and the bisection would chase ghosts.
+     */
+    void
+    setStimulus(std::function<void(Simulator &)> stim)
+    {
+        stim_ = std::move(stim);
+    }
+
     /** Search [start.cycle, start.cycle + horizon] for divergence. */
     DivergenceReport run(const SimSnapshot &start, uint64_t horizon);
 
   private:
+    void advance(Simulator &sim, uint64_t n);
+
     Factory make_a_;
     Factory make_b_;
+    std::function<void(Simulator &)> stim_;
 };
 
 } // namespace cmtl

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * SimFuzz shrinker: greedy delta-debugging over a diverging FuzzSpec.
+ *
+ * Works because of the generator's per-entity stream discipline
+ * (fuzz.h): disabling entity j never changes the structure of any
+ * surviving entity, so each trial run differs from the last only by
+ * the removed logic. The loop is O(entities x passes) comparePair
+ * runs, each at the (truncated) cycle budget.
+ */
+
+#include "fuzz.h"
+
+#include <stdexcept>
+
+namespace cmtl {
+namespace fuzz {
+
+FuzzShrinkResult
+FuzzShrinker::shrink(FuzzSpec spec)
+{
+    FuzzRunner::PairOutcome po = runner_.comparePair(spec);
+    if (!po.diverged)
+        throw std::runtime_error(
+            "fuzz shrink: seed " + std::to_string(spec.seed) +
+            " does not diverge under the given sides");
+
+    FuzzShrinkResult res;
+
+    // Phase 1: truncate the cycle budget to just past the first
+    // divergent cycle — every later trial gets cheaper.
+    if (!po.vcd_only && po.first_cycle + 1 < spec.cycles) {
+        FuzzSpec t = spec;
+        t.cycles = po.first_cycle + 1;
+        ++res.tried;
+        FuzzRunner::PairOutcome tpo = runner_.comparePair(t);
+        if (tpo.diverged) {
+            spec = std::move(t);
+            po = tpo;
+            ++res.removed;
+        }
+    }
+
+    // Phase 2: greedy entity removal to a fixed point. A removal is
+    // kept when the divergence still reproduces without the entity.
+    FuzzCounts counts = fuzzCounts(spec.seed);
+    auto tryOff = [&](std::vector<int> FuzzSpec::*mask, int id) {
+        FuzzSpec t = spec;
+        (t.*mask).push_back(id);
+        ++res.tried;
+        FuzzRunner::PairOutcome tpo = runner_.comparePair(t);
+        if (!tpo.diverged)
+            return false;
+        spec = std::move(t);
+        po = tpo;
+        ++res.removed;
+        return true;
+    };
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (int i = 0; i < counts.comb; ++i)
+            if (!spec.combOff(i))
+                changed |= tryOff(&FuzzSpec::comb_off, i);
+        for (int i = 0; i < counts.tick; ++i)
+            if (!spec.tickOff(i))
+                changed |= tryOff(&FuzzSpec::tick_off, i);
+        for (int i = 0; i < counts.stim; ++i)
+            if (!spec.stimOff(i))
+                changed |= tryOff(&FuzzSpec::stim_off, i);
+    }
+
+    // The minimized case is a detector regression by construction.
+    spec.expect = 1;
+    res.spec = std::move(spec);
+    res.first_cycle = po.vcd_only ? 0 : po.first_cycle;
+    return res;
+}
+
+} // namespace fuzz
+} // namespace cmtl

@@ -1,5 +1,7 @@
 #include "traffic.h"
 
+#include <algorithm>
+
 #include "core/snap.h"
 
 namespace cmtl {
@@ -9,15 +11,50 @@ namespace {
 constexpr int kNumMsgIds = 16;
 constexpr int kPayloadBits = 16;
 constexpr uint64_t kTimeMask = (uint64_t(1) << kPayloadBits) - 1;
+
+// Hotspot: this fraction of messages target node 0.
+constexpr uint64_t kHotspotFrac = uint64_t(0.25 * 4294967296.0);
+constexpr int kHotspotNode = 0;
+
+// Bursty: 32-on / 96-off phases (25% duty), staggered per terminal.
+constexpr uint64_t kBurstPeriod = 128;
+constexpr uint64_t kBurstOn = 32;
 } // namespace
+
+bool
+trafficPatternFromName(const std::string &name, TrafficPattern *out)
+{
+    for (TrafficPattern pattern : allTrafficPatterns()) {
+        if (name == trafficPatternName(pattern)) {
+            *out = pattern;
+            return true;
+        }
+    }
+    return false;
+}
+
+const std::vector<TrafficPattern> &
+allTrafficPatterns()
+{
+    static const std::vector<TrafficPattern> all = {
+        TrafficPattern::Uniform,       TrafficPattern::Tornado,
+        TrafficPattern::Hotspot,       TrafficPattern::BitComplement,
+        TrafficPattern::Bursty,
+    };
+    return all;
+}
 
 MeshTrafficTop::MeshTrafficTop(const std::string &name, NetLevel level,
                                int nrouters, int nentries,
-                               double injection_rate, uint64_t seed)
+                               double injection_rate, uint64_t seed,
+                               TrafficPattern pattern)
     : Model(nullptr, name),
       msg_(makeNetMsg(nrouters, kNumMsgIds, kPayloadBits)),
       level_(level), nrouters_(nrouters),
-      rate_fp_(rateToFp32(injection_rate))
+      rate_fp_(rateToFp32(injection_rate)), pattern_(pattern),
+      burst_rate_fp_(
+          std::min(rateToFp32(injection_rate) * (kBurstPeriod / kBurstOn),
+                   uint64_t(1) << 32))
 {
     switch (level) {
       case NetLevel::FL:
@@ -82,8 +119,8 @@ MeshTrafficTop::MeshTrafficTop(const std::string &name, NetLevel level,
         }
         // Generation: open-loop Bernoulli arrivals.
         for (int t = 0; t < nrouters_; ++t) {
-            if (gens_[t].genThisCycle(rate_fp_)) {
-                int dest = gens_[t].pickDest(nrouters_);
+            if (genThisCycle(t)) {
+                int dest = pickDestFor(t);
                 Bits msg = msg_.pack(
                     {static_cast<uint64_t>(dest),
                      static_cast<uint64_t>(t),
@@ -104,6 +141,44 @@ MeshTrafficTop::MeshTrafficTop(const std::string &name, NetLevel level,
         ++now_;
         ++stats_.cycles;
     });
+}
+
+bool
+MeshTrafficTop::genThisCycle(int t)
+{
+    if (pattern_ != TrafficPattern::Bursty)
+        return gens_[t].genThisCycle(rate_fp_);
+    // Stagger burst phases across terminals so the network never sees
+    // every source firing in lockstep; the draw is consumed in the
+    // off phase too, keeping each terminal's RNG stream one-per-cycle
+    // like every other pattern.
+    bool on = (now_ + uint64_t(t) * 37) % kBurstPeriod < kBurstOn;
+    return gens_[t].genThisCycle(on ? burst_rate_fp_ : 0);
+}
+
+int
+MeshTrafficTop::pickDestFor(int t)
+{
+    switch (pattern_) {
+      case TrafficPattern::Tornado: {
+        int dim = meshDim(nrouters_);
+        int x = t % dim;
+        int y = t / dim;
+        return ((y + dim / 2) % dim) * dim + (x + dim / 2) % dim;
+      }
+      case TrafficPattern::BitComplement:
+        // Coordinate mirror; on a square row-major mesh this is the
+        // index complement.
+        return nrouters_ - 1 - t;
+      case TrafficPattern::Hotspot:
+        if ((gens_[t].next() >> 32) < kHotspotFrac)
+            return kHotspotNode;
+        return gens_[t].pickDest(nrouters_);
+      case TrafficPattern::Uniform:
+      case TrafficPattern::Bursty:
+        break;
+    }
+    return gens_[t].pickDest(nrouters_);
 }
 
 void

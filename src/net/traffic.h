@@ -68,6 +68,53 @@ rateToFp32(double rate)
 }
 
 /**
+ * Spatial/temporal traffic pattern (Dally & Towles terminology).
+ *
+ *  - Uniform: independent uniform destination per message.
+ *  - Tornado: each coordinate shifts by half the mesh dimension —
+ *    worst case for dimension-ordered routing on a mesh.
+ *  - Hotspot: a fixed fraction of traffic converges on node 0, the
+ *    rest is uniform.
+ *  - BitComplement: terminal t sends to its coordinate mirror
+ *    (nrouters-1-t on a square row-major mesh).
+ *  - Bursty: uniform destinations, but injection is on/off modulated
+ *    (25% duty cycle) at 4x the nominal rate so the *offered load*
+ *    matches uniform while the instantaneous load stresses buffering.
+ *
+ * Every pattern derives its state from the cycle counter, the
+ * terminal id and the per-terminal RNGs, so checkpoints need no
+ * extra harness state and the snapshot format is pattern-agnostic.
+ */
+enum class TrafficPattern
+{
+    Uniform,
+    Tornado,
+    Hotspot,
+    BitComplement,
+    Bursty,
+};
+
+inline const char *
+trafficPatternName(TrafficPattern pattern)
+{
+    switch (pattern) {
+      case TrafficPattern::Uniform: return "uniform";
+      case TrafficPattern::Tornado: return "tornado";
+      case TrafficPattern::Hotspot: return "hotspot";
+      case TrafficPattern::BitComplement: return "bit-complement";
+      case TrafficPattern::Bursty: return "bursty";
+    }
+    return "?";
+}
+
+/** Parse a pattern name; returns false (out untouched) on unknown. */
+bool trafficPatternFromName(const std::string &name,
+                            TrafficPattern *out);
+
+/** All patterns, in a stable sweep order. */
+const std::vector<TrafficPattern> &allTrafficPatterns();
+
+/**
  * Which network implementation a harness instantiates. CLSpec is the
  * IR-expressed cycle-level mesh (cycle-exact with CL) used where the
  * paper relies on SimJIT-CL specializing the CL model.
@@ -123,10 +170,12 @@ class MeshTrafficTop : public Model
   public:
     /**
      * @param injection_rate per-terminal Bernoulli injection
-     *        probability per cycle
+     *        probability per cycle (offered load for every pattern;
+     *        Bursty redistributes it in time, not in volume)
      */
     MeshTrafficTop(const std::string &name, NetLevel level, int nrouters,
-                   int nentries, double injection_rate, uint64_t seed);
+                   int nentries, double injection_rate, uint64_t seed,
+                   TrafficPattern pattern = TrafficPattern::Uniform);
 
     /** Zero the measurement counters (e.g. after warmup). */
     void resetStats();
@@ -134,6 +183,7 @@ class MeshTrafficTop : public Model
     const NetStats &stats() const { return stats_; }
     int numTerminals() const { return nrouters_; }
     NetLevel level() const { return level_; }
+    TrafficPattern pattern() const { return pattern_; }
     /** Messages inside the network (survives resetStats). */
     uint64_t inFlight() const { return inflight_; }
     /** Messages generated but not yet accepted by the network. */
@@ -145,10 +195,15 @@ class MeshTrafficTop : public Model
     void snapLoad(SnapReader &r) override;
 
   private:
+    bool genThisCycle(int t);
+    int pickDestFor(int t);
+
     BitStructLayout msg_;
     NetLevel level_;
     int nrouters_;
     uint64_t rate_fp_;
+    TrafficPattern pattern_;
+    uint64_t burst_rate_fp_; //!< on-phase rate for Bursty
     uint64_t now_ = 0;
 
     std::unique_ptr<NetworkFL> fl_;

@@ -61,7 +61,8 @@ SimOptions::usage()
     return "[--backend=interp|optinterp|bytecode|cpp-block|cpp-design]"
            " [--layout=elab|profile] [--threads=N] [--profile[=json]]"
            " [--level=fl|cl|clspec|rtl]"
-           " [--cycles=N] [--vcd=path] [--checkpoint=path[:N]]"
+           " [--cycles=N] [--seed=N] [--traffic=pattern]"
+           " [--vcd=path] [--checkpoint=path[:N]]"
            " [--resume=path] [--listen=socket] [--jobs=N] [--audit]"
            " [--dead-elim] [--full] [--help]";
 }
@@ -90,6 +91,11 @@ SimOptions::helpTable()
         "                      machine-readable snapshot on stdout\n"
         "  --cycles=<n>        simulate n cycles (each binary defines\n"
         "                      its own default)\n"
+        "  --seed=<n>          RNG seed for traffic/stimulus\n"
+        "                      generators (each binary defines its own\n"
+        "                      default)\n"
+        "  --traffic=<p>       NoC traffic pattern: uniform | tornado |\n"
+        "                      hotspot | bit-complement | bursty\n"
         "  --vcd=<path>        write a VCD waveform dump to <path>\n"
         "  --checkpoint=<path[:n]>\n"
         "                      write a checkpoint to <path> every n\n"
@@ -174,6 +180,17 @@ SimOptions::parse(int argc, char **argv)
             opts.cfg.dead_elim = true;
         } else if (optionValue("--cycles", argc, argv, i, value)) {
             opts.cycles = parseCount(argv[0], "--cycles", value);
+        } else if (optionValue("--seed", argc, argv, i, value)) {
+            opts.seed = parseCount(argv[0], "--seed", value);
+            opts.seed_set = true;
+        } else if (optionValue("--traffic", argc, argv, i, value)) {
+            if (value.empty()) {
+                std::fprintf(stderr,
+                             "%s: --traffic wants a pattern name\n",
+                             argv[0]);
+                std::exit(2);
+            }
+            opts.traffic = value;
         } else if (optionValue("--vcd", argc, argv, i, value)) {
             opts.vcd = value;
         } else if (optionValue("--checkpoint", argc, argv, i, value)) {

@@ -19,6 +19,12 @@
  * Checkpoint/restore (snap.h) and waveform options ride along:
  *
  *   --cycles=<n>      simulate n cycles (binaries define the default)
+ *   --seed=<n>        seed for traffic/stimulus generators, so every
+ *                     run is reproducible from its command line
+ *   --traffic=<p>     NoC traffic pattern (uniform | tornado |
+ *                     hotspot | bit-complement | bursty); stored as a
+ *                     string here, validated by the consumer so the
+ *                     stdlib layer stays independent of cmtl_net
  *   --vcd=<path>      write a waveform dump to <path>
  *   --checkpoint=<path[:n]>  periodic checkpoints into <path> every n
  *                     cycles (atomic rename + rotation; default 1000)
@@ -70,6 +76,9 @@ struct SimOptions
     bool full = false;        //!< --full or CMTL_BENCH_FULL=1
     bool audit = false;       //!< --audit: static race audit (ParSim)
     std::string level;        //!< "" when absent
+    uint64_t seed = 0;        //!< --seed, 0 when absent
+    bool seed_set = false;    //!< --seed was given explicitly
+    std::string traffic;      //!< --traffic pattern name, "" when absent
     uint64_t cycles = 0;      //!< --cycles, 0 when absent
     std::string vcd;          //!< --vcd path, "" when absent
     std::string checkpoint_path;    //!< --checkpoint path, "" = off
